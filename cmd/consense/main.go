@@ -1,0 +1,89 @@
+// Command consense computes the majority rule consensus of a set of
+// trees, the paper's route from many random orderings to one answer (§2:
+// "compare the best of the resulting trees to determine a consensus
+// tree").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/fileio"
+	"repro/internal/tree"
+	"repro/internal/viewer"
+)
+
+func main() {
+	var (
+		treesPath = flag.String("trees", "", "Newick tree file, one tree per line (required)")
+		threshold = flag.Float64("threshold", 0.5, "split inclusion threshold (0.5 = strict majority)")
+		outPath   = flag.String("out", "", "write the consensus tree here (default stdout)")
+		ascii     = flag.Bool("ascii", true, "print a text rendering")
+	)
+	flag.Parse()
+	if *treesPath == "" {
+		fmt.Fprintln(os.Stderr, "consense: -trees is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*treesPath, *threshold, *outPath, *ascii); err != nil {
+		fmt.Fprintln(os.Stderr, "consense:", err)
+		os.Exit(1)
+	}
+}
+
+func run(treesPath string, threshold float64, outPath string, ascii bool) error {
+	taxa, err := fileio.TaxaFromTreesFile(treesPath)
+	if err != nil {
+		return err
+	}
+	sort.Strings(taxa)
+	trees, err := fileio.ReadTreesFile(treesPath, taxa)
+	if err != nil {
+		return err
+	}
+	res, err := tree.MajorityRule(trees, threshold)
+	if err != nil {
+		return err
+	}
+	nwk := res.Tree.Newick()
+	if outPath != "" {
+		if err := fileio.WriteLines(outPath, []string{nwk}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println(nwk)
+	}
+	fmt.Fprintf(os.Stderr, "consense: %d trees, %d splits retained of %d observed\n",
+		len(trees), len(res.Support), len(res.SplitFreq))
+	// Report split support, strongest first.
+	type supp struct {
+		key string
+		f   float64
+	}
+	var supports []supp
+	for k, f := range res.Support {
+		supports = append(supports, supp{k, f})
+	}
+	sort.Slice(supports, func(i, j int) bool {
+		if supports[i].f != supports[j].f {
+			return supports[i].f > supports[j].f
+		}
+		return supports[i].key < supports[j].key
+	})
+	for _, s := range supports {
+		members := res.SplitFreq[s.key] // placeholder to keep key used
+		_ = members
+		fmt.Fprintf(os.Stderr, "  split support %.0f%%\n", 100*s.f)
+	}
+	if ascii {
+		text, err := viewer.ASCII(res.Tree, viewer.ASCIIOptions{Width: 78})
+		if err == nil {
+			fmt.Fprintln(os.Stderr)
+			fmt.Fprint(os.Stderr, text)
+		}
+	}
+	return nil
+}

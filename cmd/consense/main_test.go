@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunConsense(t *testing.T) {
+	dir := t.TempDir()
+	treesPath := filepath.Join(dir, "trees.nwk")
+	content := "((a,b),c,(d,e));\n((a,b),c,(d,e));\n((a,c),b,(d,e));\n"
+	if err := os.WriteFile(treesPath, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "cons.nwk")
+	if err := run(treesPath, 0.5, outPath, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := strings.TrimSpace(string(data))
+	// The consensus keeps {a,b} (2/3) and {d,e} (3/3).
+	if !strings.Contains(s, "a") || !strings.HasSuffix(s, ";") {
+		t.Errorf("consensus output %q", s)
+	}
+}
+
+func TestRunConsenseErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing"), 0.5, "", false); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	treesPath := filepath.Join(dir, "trees.nwk")
+	os.WriteFile(treesPath, []byte("((a,b),c,d);\n"), 0o644)
+	if err := run(treesPath, 0.2, "", false); err == nil {
+		t.Error("bad threshold accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fileio"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+func TestRunDnarates(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := simulate.New(simulate.Options{Taxa: 8, Sites: 200, Seed: 3, GammaAlpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alignPath := filepath.Join(dir, "align.phy")
+	f, err := os.Create(alignPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.WritePhylip(f, ds.Alignment, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	treePath := filepath.Join(dir, "tree.nwk")
+	if err := fileio.WriteLines(treePath, []string{ds.TrueTree.Newick()}); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "rates.txt")
+	catsPath := filepath.Join(dir, "cats.txt")
+	if err := run(alignPath, treePath, outPath, catsPath, 5, 15, 0.05, 20); err != nil {
+		t.Fatal(err)
+	}
+	rates, err := fileio.ReadFloatsFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 200 {
+		t.Errorf("%d rates, want 200", len(rates))
+	}
+	for i, r := range rates {
+		if r <= 0 {
+			t.Errorf("rate %d = %g", i, r)
+		}
+	}
+	cats, err := fileio.ReadFloatsFile(catsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cats) != 200 {
+		t.Errorf("%d categories", len(cats))
+	}
+	for _, c := range cats {
+		if c < 1 || c > 5 {
+			t.Errorf("category %g out of range", c)
+		}
+	}
+}
+
+func TestRunDnaratesErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(filepath.Join(dir, "missing"), filepath.Join(dir, "m2"), "", "", 0, 25, 0.05, 20); err == nil {
+		t.Error("missing files accepted")
+	}
+}

@@ -1,0 +1,428 @@
+// Command fastdnaml infers maximum likelihood phylogenetic trees from a
+// PHYLIP DNA alignment, reproducing the serial and parallel fastDNAml
+// program of the paper. It runs serially by default, in parallel on one
+// machine with -workers, or as the master of a distributed run with
+// -listen (workers join with cmd/fdworker).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fileio"
+	"repro/internal/mlsearch"
+	"repro/internal/model"
+	"repro/internal/seq"
+	"repro/internal/tree"
+	"repro/internal/viewer"
+)
+
+func main() {
+	var (
+		inPath      = flag.String("in", "", "PHYLIP alignment (required)")
+		jumbles     = flag.Int("jumbles", 1, "number of random taxon orderings to analyze")
+		seed        = flag.Int64("seed", 1, "random seed (even seeds are adjusted, as in fastDNAml)")
+		extent      = flag.Int("extent", 1, "vertices crossed in local rearrangements (paper tests: 5)")
+		finalExtent = flag.Int("final-extent", 0, "vertices crossed in the final pass (0 = same as -extent)")
+		ttratio     = flag.Float64("ttratio", 2.0, "F84 transition/transversion ratio")
+		workers     = flag.Int("workers", 0, "parallel worker processes on this machine (0 = serial)")
+		monitor     = flag.Bool("monitor", false, "attach the monitor process (parallel runs)")
+		ratesPath   = flag.String("rates", "", "per-site rate file (dnarates output)")
+		weightsPath = flag.String("weights", "", "per-site weight file")
+		outPrefix   = flag.String("out", "", "output prefix for .trees/.best.tree/.consensus.tree files")
+		progressOut = flag.String("progress-out", "", "append each adopted best tree to this file (for treeview)")
+		listen      = flag.String("listen", "", "run as distributed master listening on this address")
+		netWorkers  = flag.Int("net-workers", 0, "number of fdworker processes expected (with -listen)")
+		quiet       = flag.Bool("quiet", false, "suppress per-jumble output")
+		modelName   = flag.String("model", "F84", "substitution model: F84, JC69, K80, HKY85, GTR")
+		gtrRates    = flag.String("gtr-rates", "", "six GTR exchangeabilities ac,ag,at,cg,ct,gt")
+		kappa       = flag.Float64("kappa", 2.0, "transition rate multiplier for K80/HKY85")
+		userTrees   = flag.String("usertrees", "", "evaluate and rank the trees in this file instead of searching")
+		bootstrap   = flag.Int("bootstrap", 0, "run this many bootstrap replicates instead of a plain search")
+		checkpoint  = flag.String("checkpoint", "", "write a restart file here after every taxon addition (serial, one jumble)")
+		resume      = flag.String("resume", "", "resume a search from this restart file")
+		adaptive    = flag.Bool("adaptive", false, "adapt the rearrangement extent to recent success (paper §5)")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		fmt.Fprintln(os.Stderr, "fastdnaml: -in alignment required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*inPath, options{
+		jumbles: *jumbles, seed: *seed, extent: *extent, finalExtent: *finalExtent,
+		ttratio: *ttratio, workers: *workers, monitor: *monitor,
+		ratesPath: *ratesPath, weightsPath: *weightsPath,
+		outPrefix: *outPrefix, progressOut: *progressOut,
+		listen: *listen, netWorkers: *netWorkers, quiet: *quiet,
+		modelName: *modelName, kappa: *kappa, gtrRates: *gtrRates,
+		userTrees: *userTrees, bootstrap: *bootstrap,
+		checkpoint: *checkpoint, resume: *resume, adaptive: *adaptive,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "fastdnaml:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	jumbles, extent, finalExtent, workers, netWorkers int
+	seed                                              int64
+	ttratio, kappa                                    float64
+	monitor, quiet                                    bool
+	ratesPath, weightsPath, outPrefix, progressOut    string
+	listen, modelName, gtrRates                       string
+	userTrees                                         string
+	bootstrap                                         int
+	checkpoint, resume                                string
+	adaptive                                          bool
+}
+
+func run(inPath string, o options) error {
+	f, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	a, err := seq.ReadPhylip(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var rates, weights []float64
+	if o.ratesPath != "" {
+		if rates, err = fileio.ReadFloatsFile(o.ratesPath); err != nil {
+			return err
+		}
+	}
+	if o.weightsPath != "" {
+		if weights, err = fileio.ReadFloatsFile(o.weightsPath); err != nil {
+			return err
+		}
+	}
+
+	var progressFile *os.File
+	if o.progressOut != "" {
+		progressFile, err = os.Create(o.progressOut)
+		if err != nil {
+			return err
+		}
+		defer progressFile.Close()
+	}
+	progress := func(j int, e mlsearch.ProgressEvent) {
+		if progressFile != nil {
+			fmt.Fprintln(progressFile, e.BestNewick)
+		}
+		if !o.quiet {
+			fmt.Printf("jumble %d: %-9s %3d taxa  lnL %.4f\n", j+1, e.Kind, e.TaxaInTree, e.BestLnL)
+		}
+	}
+
+	gtr, err := parseGTRRates(o.gtrRates)
+	if err != nil {
+		return err
+	}
+	opt := core.Options{
+		ModelName:       o.modelName,
+		TTRatio:         o.ttratio,
+		Kappa:           o.kappa,
+		GTRRates:        gtr,
+		Jumbles:         o.jumbles,
+		Seed:            o.seed,
+		RearrangeExtent: o.extent,
+		FinalExtent:     o.finalExtent,
+		AdaptiveExtent:  o.adaptive,
+		Workers:         o.workers,
+		WithMonitor:     o.monitor,
+		MonitorOut:      os.Stderr,
+		SiteRates:       rates,
+		Weights:         weights,
+		Progress:        progress,
+	}
+
+	switch {
+	case o.userTrees != "":
+		return runUserTrees(a, opt, o)
+	case o.bootstrap > 0:
+		return runBootstrap(a, opt, o)
+	case o.listen != "":
+		return runDistributed(a, opt, o)
+	case o.checkpoint != "" || o.resume != "":
+		return runCheckpointed(a, opt, o)
+	}
+
+	inf, err := core.Infer(a, opt)
+	if err != nil {
+		return err
+	}
+	return report(inf, a, o)
+}
+
+// parseGTRRates parses "ac,ag,at,cg,ct,gt" (empty = zero value).
+func parseGTRRates(s string) (model.GTRRates, error) {
+	var r model.GTRRates
+	if s == "" {
+		return r, nil
+	}
+	fields := strings.Split(s, ",")
+	if len(fields) != 6 {
+		return r, fmt.Errorf("-gtr-rates needs 6 comma-separated values, got %d", len(fields))
+	}
+	vals := make([]float64, 6)
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return r, fmt.Errorf("-gtr-rates: %w", err)
+		}
+		vals[i] = v
+	}
+	r.AC, r.AG, r.AT, r.CG, r.CT, r.GT = vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]
+	return r, nil
+}
+
+// runUserTrees evaluates and ranks given topologies (fastDNAml's
+// user-tree mode).
+func runUserTrees(a *seq.Alignment, opt core.Options, o options) error {
+	cfg, _, err := core.Prepare(a, opt)
+	if err != nil {
+		return err
+	}
+	trees, err := fileio.ReadTreesFile(o.userTrees, a.Names)
+	if err != nil {
+		return err
+	}
+	ranked, err := mlsearch.KishinoHasegawa(cfg, trees)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d user trees, best first (Kishino-Hasegawa test):\n", len(ranked))
+	var lines []string
+	for rank, r := range ranked {
+		verdict := "best"
+		if r.Diff != 0 {
+			verdict = "not significantly worse"
+			if r.SignificantlyWorse {
+				verdict = "SIGNIFICANTLY WORSE (5% level)"
+			}
+		}
+		fmt.Printf("%3d. input tree %d  lnL %.4f  diff %.4f  sd %.4f  %s\n",
+			rank+1, r.Index+1, r.LnL, r.Diff, r.SD, verdict)
+		lines = append(lines, r.Newick)
+	}
+	if o.outPrefix != "" {
+		if err := fileio.WriteLines(o.outPrefix+".ranked.trees", lines); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s.ranked.trees (optimized branch lengths)\n", o.outPrefix)
+	}
+	return nil
+}
+
+// runBootstrap resamples columns and reports split support.
+func runBootstrap(a *seq.Alignment, opt core.Options, o options) error {
+	fmt.Printf("bootstrap: %d replicates\n", o.bootstrap)
+	res, err := core.Bootstrap(a, opt, o.bootstrap)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nbootstrap consensus (%d splits retained):\n%s\n",
+		len(res.Consensus.Support), res.Consensus.Tree.Newick())
+	fmt.Println("\nsplit support (bootstrap proportions):")
+	for _, f := range sortedSupports(res.Consensus.Support) {
+		fmt.Printf("  %5.1f%%\n", 100*f)
+	}
+	if o.outPrefix != "" {
+		var lines []string
+		for _, tr := range res.Trees {
+			lines = append(lines, tr.Newick())
+		}
+		if err := fileio.WriteLines(o.outPrefix+".boot.trees", lines); err != nil {
+			return err
+		}
+		if err := fileio.WriteLines(o.outPrefix+".boot.consensus.tree", []string{res.Consensus.Tree.Newick()}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s.boot.trees and %s.boot.consensus.tree\n", o.outPrefix, o.outPrefix)
+	}
+	return nil
+}
+
+func sortedSupports(m map[string]float64) []float64 {
+	out := make([]float64, 0, len(m))
+	for _, f := range m {
+		out = append(out, f)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// runCheckpointed runs one serial jumble, writing a restart file after
+// each addition, or resumes from one.
+func runCheckpointed(a *seq.Alignment, opt core.Options, o options) error {
+	cfg, _, err := core.Prepare(a, opt)
+	if err != nil {
+		return err
+	}
+	disp, err := mlsearch.NewSerialDispatcher(cfg)
+	if err != nil {
+		return err
+	}
+	s, err := mlsearch.NewSearch(cfg, disp)
+	if err != nil {
+		return err
+	}
+	if o.checkpoint != "" {
+		s.OnCheckpoint = func(cp mlsearch.Checkpoint) {
+			f, err := os.Create(o.checkpoint)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fastdnaml: checkpoint:", err)
+				return
+			}
+			if err := mlsearch.WriteCheckpoint(f, cp); err != nil {
+				fmt.Fprintln(os.Stderr, "fastdnaml: checkpoint:", err)
+			}
+			f.Close()
+		}
+	}
+	var res *mlsearch.SearchResult
+	if o.resume != "" {
+		f, err := os.Open(o.resume)
+		if err != nil {
+			return err
+		}
+		cp, err := mlsearch.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resuming: phase %s, %d of %d taxa in tree\n", cp.Phase, cp.NextIndex, len(cp.Order))
+		res, err = s.Resume(cp)
+		if err != nil {
+			return err
+		}
+	} else {
+		res, err = s.Run()
+		if err != nil {
+			return err
+		}
+	}
+	tr, err := tree.ParseNewick(res.BestNewick, cfg.Taxa)
+	if err != nil {
+		return err
+	}
+	inf := &core.Inference{
+		Jumbles: []core.JumbleResult{{Seed: cfg.Seed, Tree: tr, Newick: res.BestNewick, LnL: res.LnL, Search: res}},
+	}
+	inf.Best = &inf.Jumbles[0]
+	return report(inf, a, o)
+}
+
+// runDistributed hosts the TCP master; workers join via cmd/fdworker.
+func runDistributed(a *seq.Alignment, opt core.Options, o options) error {
+	if o.netWorkers < 1 {
+		return fmt.Errorf("-listen requires -net-workers >= 1")
+	}
+	cfg, opt, err := core.Prepare(a, opt)
+	if err != nil {
+		return err
+	}
+	var phylip strings.Builder
+	if err := seq.WritePhylip(&phylip, a, 0); err != nil {
+		return err
+	}
+	tcpOpt := mlsearch.TCPMasterOptions{
+		Addr:        o.listen,
+		Workers:     o.netWorkers,
+		WithMonitor: o.monitor,
+		Jumbles:     o.jumbles,
+		MonitorOut:  os.Stderr,
+		Bundle: mlsearch.DataBundle{
+			PhylipText: []byte(phylip.String()),
+			TTRatio:    opt.TTRatio,
+			SiteRates:  opt.SiteRates,
+			Weights:    opt.Weights,
+		},
+		Progress: opt.Progress,
+		OnListen: func(addr net.Addr) {
+			first, size := mlsearch.TCPMasterOptions{Workers: o.netWorkers, WithMonitor: o.monitor}.WorkerRanks()
+			fmt.Printf("listening on %s; start %d workers:\n", addr, o.netWorkers)
+			for r := first; r < size; r++ {
+				fmt.Printf("  fdworker -connect %s -rank %d -size %d -monitor=%v\n", addr, r, size, o.monitor)
+			}
+		},
+	}
+	out, err := mlsearch.RunTCPMaster(cfg, tcpOpt)
+	if err != nil {
+		return err
+	}
+	// Repackage as an Inference for uniform reporting.
+	inf, err := inferenceFromResults(a, cfg.Taxa, out, opt)
+	if err != nil {
+		return err
+	}
+	return report(inf, a, o)
+}
+
+func inferenceFromResults(a *seq.Alignment, taxa []string, out *mlsearch.LocalRunOutcome, opt core.Options) (*core.Inference, error) {
+	inf := &core.Inference{Monitor: out.Monitor}
+	seed := mlsearch.NormalizeSeed(opt.Seed)
+	for j, res := range out.Results {
+		tr, err := tree.ParseNewick(res.BestNewick, taxa)
+		if err != nil {
+			return nil, err
+		}
+		inf.Jumbles = append(inf.Jumbles, core.JumbleResult{
+			Seed: seed + int64(2*j), Tree: tr, Newick: res.BestNewick, LnL: res.LnL, Search: res,
+		})
+	}
+	best := &inf.Jumbles[0]
+	for i := range inf.Jumbles {
+		if inf.Jumbles[i].LnL > best.LnL {
+			best = &inf.Jumbles[i]
+		}
+	}
+	inf.Best = best
+	return inf, nil
+}
+
+func report(inf *core.Inference, a *seq.Alignment, o options) error {
+	fmt.Println()
+	for i, j := range inf.Jumbles {
+		marker := " "
+		if &inf.Jumbles[i] == inf.Best {
+			marker = "*"
+		}
+		fmt.Printf("%s jumble %d (seed %d): lnL %.4f\n", marker, i+1, j.Seed, j.LnL)
+	}
+	fmt.Printf("\nbest tree (lnL %.4f):\n%s\n", inf.Best.LnL, inf.Best.Newick)
+	if ascii, err := viewer.ASCII(inf.Best.Tree, viewer.ASCIIOptions{Width: 78}); err == nil {
+		fmt.Println()
+		fmt.Print(ascii)
+	}
+	if inf.Consensus != nil {
+		fmt.Printf("\nmajority rule consensus (%d trees):\n%s\n", len(inf.Jumbles), inf.Consensus.Tree.Newick())
+	}
+	if o.outPrefix != "" {
+		var lines []string
+		for _, j := range inf.Jumbles {
+			lines = append(lines, j.Newick)
+		}
+		if err := fileio.WriteLines(o.outPrefix+".trees", lines); err != nil {
+			return err
+		}
+		if err := fileio.WriteLines(o.outPrefix+".best.tree", []string{inf.Best.Newick}); err != nil {
+			return err
+		}
+		if inf.Consensus != nil {
+			if err := fileio.WriteLines(o.outPrefix+".consensus.tree", []string{inf.Consensus.Tree.Newick()}); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("\nwrote %s.trees and %s.best.tree\n", o.outPrefix, o.outPrefix)
+	}
+	return nil
+}

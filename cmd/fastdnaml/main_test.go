@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+// writeTestAlignment produces a small PHYLIP file for CLI-level tests.
+func writeTestAlignment(t *testing.T, taxa, sites int) string {
+	t.Helper()
+	ds, err := simulate.New(simulate.Options{Taxa: taxa, Sites: sites, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "align.phy")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.WritePhylip(f, ds.Alignment, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+func TestRunSerialWritesOutputs(t *testing.T) {
+	in := writeTestAlignment(t, 6, 120)
+	prefix := filepath.Join(t.TempDir(), "run")
+	err := run(in, options{
+		jumbles: 2, seed: 1, extent: 1, ttratio: 2, modelName: "F84", kappa: 2,
+		quiet: true, outPrefix: prefix,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".trees", ".best.tree", ".consensus.tree"} {
+		if _, err := os.Stat(prefix + suffix); err != nil {
+			t.Errorf("missing output %s: %v", suffix, err)
+		}
+	}
+}
+
+func TestRunParallelMode(t *testing.T) {
+	in := writeTestAlignment(t, 6, 100)
+	err := run(in, options{
+		jumbles: 1, seed: 1, extent: 1, ttratio: 2, modelName: "F84", kappa: 2,
+		quiet: true, workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCheckpointThenResume(t *testing.T) {
+	in := writeTestAlignment(t, 6, 100)
+	cpPath := filepath.Join(t.TempDir(), "cp.txt")
+	if err := run(in, options{
+		jumbles: 1, seed: 1, extent: 1, ttratio: 2, modelName: "F84", kappa: 2,
+		quiet: true, checkpoint: cpPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(cpPath); err != nil {
+		t.Fatal("no checkpoint written")
+	}
+	if err := run(in, options{
+		jumbles: 1, seed: 1, extent: 1, ttratio: 2, modelName: "F84", kappa: 2,
+		quiet: true, resume: cpPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUserTreesMode(t *testing.T) {
+	in := writeTestAlignment(t, 6, 100)
+	prefix := filepath.Join(t.TempDir(), "search")
+	if err := run(in, options{
+		jumbles: 2, seed: 1, extent: 1, ttratio: 2, modelName: "F84", kappa: 2,
+		quiet: true, outPrefix: prefix,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, options{
+		jumbles: 1, seed: 1, extent: 1, ttratio: 2, modelName: "F84", kappa: 2,
+		quiet: true, userTrees: prefix + ".trees",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBootstrapMode(t *testing.T) {
+	in := writeTestAlignment(t, 6, 150)
+	if err := run(in, options{
+		jumbles: 1, seed: 1, extent: 1, ttratio: 2, modelName: "F84", kappa: 2,
+		quiet: true, bootstrap: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsMissingInput(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "nope.phy"), options{ttratio: 2, modelName: "F84", kappa: 2}); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestRunModelFlag(t *testing.T) {
+	in := writeTestAlignment(t, 6, 100)
+	for _, m := range []string{"JC69", "K80", "HKY85"} {
+		if err := run(in, options{
+			jumbles: 1, seed: 1, extent: 1, ttratio: 2, modelName: m, kappa: 2, quiet: true,
+		}); err != nil {
+			t.Errorf("model %s: %v", m, err)
+		}
+	}
+	if err := run(in, options{jumbles: 1, seed: 1, extent: 1, ttratio: 2, modelName: "BOGUS", kappa: 2, quiet: true}); err == nil {
+		t.Error("bogus model accepted")
+	}
+}

@@ -1,0 +1,53 @@
+// Command fdworker is a distributed fastDNAml worker process: it joins a
+// master started with `fastdnaml -listen`, receives the alignment over
+// the wire, and evaluates trees until shutdown. Workers may run anywhere
+// a socket can reach the master — the reproduction of the paper's
+// geographically distributed PVM workers and cluster nodes (§2.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/mlsearch"
+)
+
+func main() {
+	var (
+		connect = flag.String("connect", "", "master address (required), e.g. host:7946")
+		rank    = flag.Int("rank", 0, "this worker's rank (printed by the master)")
+		size    = flag.Int("size", 0, "world size (printed by the master)")
+		monitor = flag.Bool("monitor", false, "set if the master runs with -monitor")
+		flaky   = flag.Float64("flaky", 0, "drop this fraction of replies (fault tolerance demos)")
+		seed    = flag.Int64("flaky-seed", 1, "seed for -flaky")
+		retryMs = flag.Int("retry-ms", 0, "retry the connection every N ms until it succeeds")
+	)
+	flag.Parse()
+	if *connect == "" || *rank <= 0 || *size <= 0 {
+		fmt.Fprintln(os.Stderr, "fdworker: -connect, -rank and -size are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	hooks := mlsearch.WorkerHooks{}
+	if *flaky > 0 {
+		rng := rand.New(rand.NewSource(*seed))
+		hooks.BeforeReply = func(task mlsearch.Task, res mlsearch.Result) bool {
+			return rng.Float64() >= *flaky
+		}
+	}
+	for {
+		err := mlsearch.RunTCPWorker(*connect, *rank, *size, *monitor, hooks)
+		if err == nil {
+			return
+		}
+		if *retryMs <= 0 {
+			fmt.Fprintln(os.Stderr, "fdworker:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fdworker: %v; retrying in %dms\n", err, *retryMs)
+		time.Sleep(time.Duration(*retryMs) * time.Millisecond)
+	}
+}

@@ -1,0 +1,135 @@
+// Command treeview renders phylogenetic trees: a terminal phylogram, or
+// the planar-3D multi-tree SVG of the paper's viewer (§4) with taxon
+// traces across trees. Feed it the .trees output of fastdnaml for
+// comparing jumbles, or its -progress-out file for watching the tree grow
+// iteration by iteration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/fileio"
+	"repro/internal/viewer"
+)
+
+func main() {
+	var (
+		treesPath = flag.String("trees", "", "Newick tree file, one per line (required)")
+		format    = flag.String("format", "ascii", "output format: ascii or svg")
+		outPath   = flag.String("out", "", "output file (default stdout)")
+		trace     = flag.String("trace", "", "comma-separated taxon names to trace across trees (svg)")
+		lengths   = flag.Bool("lengths", false, "annotate branch lengths (ascii)")
+		width     = flag.Int("width", 0, "output width (characters for ascii, pixels for svg)")
+		labels    = flag.Bool("labels", true, "draw leaf labels (svg)")
+		first     = flag.Int("first", 0, "render only the first N trees (0 = all)")
+	)
+	flag.Parse()
+	if *treesPath == "" {
+		fmt.Fprintln(os.Stderr, "treeview: -trees is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*treesPath, *format, *outPath, *trace, *lengths, *width, *labels, *first); err != nil {
+		fmt.Fprintln(os.Stderr, "treeview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(treesPath, format, outPath, trace string, lengths bool, width int, labels bool, first int) error {
+	taxa, err := fileio.TaxaFromTreesFile(treesPath)
+	if err != nil {
+		return err
+	}
+	sort.Strings(taxa)
+	trees, err := fileio.ReadTreesFile(treesPath, taxa)
+	if err != nil {
+		return err
+	}
+	if first > 0 && first < len(trees) {
+		trees = trees[:first]
+	}
+
+	out := os.Stdout
+	if outPath != "" {
+		out, err = os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+	}
+
+	switch format {
+	case "ascii":
+		for i, t := range trees {
+			if len(trees) > 1 {
+				fmt.Fprintf(out, "--- tree %d ---\n", i+1)
+			}
+			text, err := viewer.ASCII(t, viewer.ASCIIOptions{Width: width, ShowLengths: lengths})
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, text)
+		}
+		if trace != "" {
+			taxIdx, err := resolveTaxa(taxa, trace)
+			if err != nil {
+				return err
+			}
+			rep, err := viewer.TraceReport(trees, taxIdx)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+			fmt.Fprint(out, rep)
+		}
+	case "svg":
+		labelsList := make([]string, len(trees))
+		for i := range trees {
+			labelsList[i] = fmt.Sprintf("tree %d", i+1)
+		}
+		scene, err := viewer.NewScene(trees, labelsList)
+		if err != nil {
+			return err
+		}
+		opt := viewer.SVGOptions{Width: width, LeafLabels: labels}
+		if trace != "" {
+			if opt.TraceTaxa, err = resolveTaxa(taxa, trace); err != nil {
+				return err
+			}
+		}
+		fmt.Fprint(out, scene.SVG(opt))
+	default:
+		return fmt.Errorf("unknown format %q (ascii or svg)", format)
+	}
+	return nil
+}
+
+// resolveTaxa maps comma-separated taxon names to indices.
+func resolveTaxa(taxa []string, list string) ([]int, error) {
+	var out []int
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := -1
+		for i, t := range taxa {
+			if t == name {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("unknown taxon %q", name)
+		}
+		out = append(out, found)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no taxa to trace")
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+// Cluster: the paper's distributed deployment in one process — a TCP
+// master (router + master + foreman + monitor roles) with worker
+// processes joining over sockets, including an unreliable worker whose
+// dropped replies the foreman's fault tolerance recovers (paper §2.2).
+// In real deployments the workers are cmd/fdworker processes on other
+// machines; here they are goroutines dialing loopback so the example is
+// self-contained.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/mlsearch"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+func main() {
+	// Build the data set the master will ship to joining workers.
+	ds, err := simulate.New(simulate.Options{Taxa: 12, Sites: 300, Seed: 77})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var phy bytes.Buffer
+	if err := seq.WritePhylip(&phy, ds.Alignment, 0); err != nil {
+		log.Fatal(err)
+	}
+	bundle := mlsearch.DataBundle{PhylipText: phy.Bytes(), TTRatio: 2.0}
+
+	// The master needs the same dataset the workers will build.
+	m, pat, taxa, err := bundle.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := mlsearch.Config{Taxa: taxa, Patterns: pat, Model: m, Seed: 5, RearrangeExtent: 1}
+
+	const workers = 3
+	opt := mlsearch.TCPMasterOptions{
+		Addr:        "127.0.0.1:0",
+		Workers:     workers,
+		WithMonitor: true,
+		MonitorOut:  os.Stdout,
+		Bundle:      bundle,
+		Foreman: mlsearch.ForemanOptions{
+			TaskTimeout: 300 * time.Millisecond, // the paper's user-specified timeout
+			Tick:        20 * time.Millisecond,
+		},
+	}
+	firstWorker, size := opt.WorkerRanks()
+
+	addrCh := make(chan net.Addr, 1)
+	opt.OnListen = func(a net.Addr) { addrCh <- a }
+
+	var wg sync.WaitGroup
+	var outcome *mlsearch.LocalRunOutcome
+	var masterErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		outcome, masterErr = mlsearch.RunTCPMaster(cfg, opt)
+	}()
+
+	addr := (<-addrCh).String()
+	fmt.Printf("master listening on %s; %d workers joining\n", addr, workers)
+
+	// Worker "processes": the last one is unreliable and silently drops
+	// a fifth of its replies. The foreman times those tasks out,
+	// re-dispatches them, and reinstates the worker when it answers
+	// again — watch the monitor lines.
+	for r := firstWorker; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			hooks := mlsearch.WorkerHooks{}
+			if rank == size-1 {
+				rng := rand.New(rand.NewSource(1))
+				hooks.BeforeReply = func(task mlsearch.Task, res mlsearch.Result) bool {
+					return rng.Float64() >= 0.2
+				}
+			}
+			if err := mlsearch.RunTCPWorker(addr, rank, size, true, hooks); err != nil {
+				log.Printf("worker %d: %v", rank, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if masterErr != nil {
+		log.Fatal(masterErr)
+	}
+
+	res := outcome.Results[0]
+	fmt.Printf("\ninferred tree (lnL %.4f) after %d tasks\n", res.LnL, res.TotalTasks)
+	mon := outcome.Monitor
+	fmt.Printf("monitor: %d dispatches for %d results (re-dispatches due to faults: %d)\n",
+		mon.Dispatches, mon.Results, mon.Dispatches-mon.Results)
+	for w, n := range mon.TasksPerWorker {
+		fmt.Printf("  worker rank %d completed %d tasks (removed %dx, reinstated %dx)\n",
+			w, n, mon.Deaths[w], mon.Revivals[w])
+	}
+
+	// The fault-tolerant run must agree exactly with a serial run.
+	serial, err := mlsearch.RunSerial(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if serial.BestNewick == res.BestNewick && serial.LnL == res.LnL {
+		fmt.Println("verified: distributed result identical to the serial program")
+	} else {
+		fmt.Println("WARNING: distributed result diverged from serial!")
+	}
+}

@@ -1,0 +1,350 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// backendWorld abstracts backend construction so every test runs against
+// both the local and the TCP backend.
+func worlds(t *testing.T, size int) map[string][]Communicator {
+	t.Helper()
+	out := map[string][]Communicator{}
+
+	local, err := NewLocal(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["local"] = local
+
+	router, err := NewTCPRouter("127.0.0.1:0", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := router.(*tcpRouter).Addr().String()
+	tcp := make([]Communicator, size)
+	tcp[0] = router
+	for r := 1; r < size; r++ {
+		c, err := DialTCP(addr, r, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcp[r] = c
+	}
+	out["tcp"] = tcp
+	return out
+}
+
+func closeWorld(w []Communicator) {
+	for _, c := range w {
+		c.Close()
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	for name, w := range worlds(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			defer closeWorld(w)
+			done := make(chan error, 1)
+			go func() {
+				m, err := w[1].Recv(0, TagTask)
+				if err != nil {
+					done <- err
+					return
+				}
+				done <- w[1].Send(0, TagResult, append([]byte("re:"), m.Data...))
+			}()
+			if err := w[0].Send(1, TagTask, []byte("hello")); err != nil {
+				t.Fatal(err)
+			}
+			m, err := w[0].Recv(1, TagResult)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(m.Data) != "re:hello" {
+				t.Errorf("payload = %q", m.Data)
+			}
+			if m.From != 1 || m.Tag != TagResult {
+				t.Errorf("meta = %+v", m)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFIFOOrderPerSender(t *testing.T) {
+	for name, w := range worlds(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			defer closeWorld(w)
+			const n = 200
+			for i := 0; i < n; i++ {
+				if err := w[0].Send(1, TagTask, []byte{byte(i), byte(i >> 8)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < n; i++ {
+				m, err := w[1].Recv(0, TagTask)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := int(m.Data[0]) | int(m.Data[1])<<8
+				if got != i {
+					t.Fatalf("message %d arrived as %d", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestTagFiltering(t *testing.T) {
+	for name, w := range worlds(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			defer closeWorld(w)
+			if err := w[0].Send(1, TagTask, []byte("task")); err != nil {
+				t.Fatal(err)
+			}
+			if err := w[0].Send(1, TagControl, []byte("ctl")); err != nil {
+				t.Fatal(err)
+			}
+			// Receive the control message first even though the task
+			// arrived earlier.
+			m, err := w[1].Recv(AnySource, TagControl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(m.Data) != "ctl" {
+				t.Errorf("got %q", m.Data)
+			}
+			m, err = w[1].Recv(AnySource, TagTask)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(m.Data) != "task" {
+				t.Errorf("got %q", m.Data)
+			}
+		})
+	}
+}
+
+func TestAnySourceGathers(t *testing.T) {
+	for name, w := range worlds(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			defer closeWorld(w)
+			var wg sync.WaitGroup
+			for r := 1; r < 4; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					if err := w[r].Send(0, TagResult, []byte{byte(r)}); err != nil {
+						t.Error(err)
+					}
+				}(r)
+			}
+			seen := map[int]bool{}
+			for i := 0; i < 3; i++ {
+				m, err := w[0].Recv(AnySource, TagResult)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if int(m.Data[0]) != m.From {
+					t.Errorf("payload %d from rank %d", m.Data[0], m.From)
+				}
+				seen[m.From] = true
+			}
+			wg.Wait()
+			if len(seen) != 3 {
+				t.Errorf("gathered from %d ranks, want 3", len(seen))
+			}
+		})
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	for name, w := range worlds(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			defer closeWorld(w)
+			start := time.Now()
+			_, err := w[0].RecvTimeout(AnySource, TagResult, 30*time.Millisecond)
+			if err != ErrTimeout {
+				t.Fatalf("err = %v, want ErrTimeout", err)
+			}
+			if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+				t.Errorf("returned after %v, too early", elapsed)
+			}
+			// A message arriving within the window is delivered.
+			go func() {
+				time.Sleep(10 * time.Millisecond)
+				w[1].Send(0, TagResult, []byte("late"))
+			}()
+			m, err := w[0].RecvTimeout(AnySource, TagResult, time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(m.Data) != "late" {
+				t.Errorf("got %q", m.Data)
+			}
+		})
+	}
+}
+
+func TestCloseUnblocksReceiver(t *testing.T) {
+	for name, w := range worlds(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			errc := make(chan error, 1)
+			go func() {
+				_, err := w[1].Recv(AnySource, AnyTag)
+				errc <- err
+			}()
+			time.Sleep(10 * time.Millisecond)
+			w[1].Close()
+			select {
+			case err := <-errc:
+				if err != ErrClosed {
+					t.Errorf("err = %v, want ErrClosed", err)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("receiver did not unblock")
+			}
+			w[0].Close()
+		})
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	for name, w := range worlds(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			defer closeWorld(w)
+			if err := w[0].Send(7, TagTask, nil); err == nil {
+				t.Error("send to out-of-range rank should fail")
+			}
+		})
+	}
+}
+
+func TestPayloadIsolation(t *testing.T) {
+	// Mutating the sender's buffer after Send must not affect delivery.
+	w, err := NewLocal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWorld(w)
+	buf := []byte("original")
+	if err := w[0].Send(1, TagTask, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "clobber!")
+	m, err := w[1].Recv(0, TagTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Data) != "original" {
+		t.Errorf("payload = %q, want original", m.Data)
+	}
+}
+
+func TestLargeMessageTCP(t *testing.T) {
+	w := worlds(t, 2)["tcp"]
+	defer closeWorld(w)
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	if err := w[0].Send(1, TagTask, big); err != nil {
+		t.Fatal(err)
+	}
+	m, err := w[1].Recv(0, TagTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Data) != len(big) {
+		t.Fatalf("size %d, want %d", len(m.Data), len(big))
+	}
+	for i := range big {
+		if m.Data[i] != big[i] {
+			t.Fatalf("corruption at byte %d", i)
+		}
+	}
+}
+
+func TestWorkerToWorkerViaRouter(t *testing.T) {
+	w := worlds(t, 3)["tcp"]
+	defer closeWorld(w)
+	if err := w[1].Send(2, TagControl, []byte("peer")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := w[2].Recv(1, TagControl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Data) != "peer" || m.From != 1 {
+		t.Errorf("got %q from %d", m.Data, m.From)
+	}
+}
+
+func TestTracedCommunicator(t *testing.T) {
+	w, _ := NewLocal(2)
+	defer closeWorld(w)
+	t0 := NewTraced(w[0])
+	t1 := NewTraced(w[1])
+	for i := 0; i < 5; i++ {
+		if err := t0.Send(1, TagTask, []byte(fmt.Sprintf("%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := t1.Recv(0, TagTask); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, r := t0.Counts()
+	if s != 5 || r != 0 {
+		t.Errorf("t0 counts = %d sends %d recvs", s, r)
+	}
+	s, r = t1.Counts()
+	if s != 0 || r != 5 {
+		t.Errorf("t1 counts = %d sends %d recvs", s, r)
+	}
+	sent, _ := t0.BytesMoved()
+	if sent != 15 {
+		t.Errorf("t0 sent %d bytes, want 15", sent)
+	}
+	if len(t0.Events()) != 5 {
+		t.Errorf("t0 has %d events", len(t0.Events()))
+	}
+}
+
+func TestConcurrentSendersStress(t *testing.T) {
+	for name, w := range worlds(t, 8) {
+		t.Run(name, func(t *testing.T) {
+			defer closeWorld(w)
+			const per = 50
+			var wg sync.WaitGroup
+			for r := 1; r < 8; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if err := w[r].Send(0, TagResult, []byte{byte(r), byte(i)}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(r)
+			}
+			next := map[int]int{}
+			for i := 0; i < 7*per; i++ {
+				m, err := w[0].Recv(AnySource, TagResult)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if int(m.Data[1]) != next[m.From] {
+					t.Fatalf("rank %d message %d arrived at position %d", m.From, m.Data[1], next[m.From])
+				}
+				next[m.From]++
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Local backend: all ranks live in one process, each rank's endpoint is a
+// mailbox with a notification channel. This is the default backend for
+// single-machine parallel runs (the workers are goroutines) and gives the
+// tests deterministic, dependency-free message passing.
+
+// mailbox holds undelivered messages for one rank.
+type mailbox struct {
+	mu     sync.Mutex
+	queue  []Message
+	closed bool
+	// arrived is pulsed (non-blockingly) whenever the queue or closed
+	// state changes, waking at least one waiting receiver.
+	arrived chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{arrived: make(chan struct{}, 1)}
+}
+
+func (mb *mailbox) pulse() {
+	select {
+	case mb.arrived <- struct{}{}:
+	default:
+	}
+}
+
+// localComm is one rank's endpoint of a local world.
+type localComm struct {
+	rank  int
+	boxes []*mailbox
+}
+
+// NewLocal creates an n-rank in-process world and returns one
+// Communicator per rank. Closing an endpoint only affects that rank's
+// mailbox.
+func NewLocal(n int) ([]Communicator, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("comm: local world size %d", n)
+	}
+	boxes := make([]*mailbox, n)
+	for i := range boxes {
+		boxes[i] = newMailbox()
+	}
+	out := make([]Communicator, n)
+	for i := range out {
+		out[i] = &localComm{rank: i, boxes: boxes}
+	}
+	return out, nil
+}
+
+func (c *localComm) Rank() int { return c.rank }
+func (c *localComm) Size() int { return len(c.boxes) }
+
+func (c *localComm) Send(to int, tag Tag, data []byte) error {
+	if to < 0 || to >= len(c.boxes) {
+		return fmt.Errorf("comm: send to rank %d of %d", to, len(c.boxes))
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	mb := c.boxes[to]
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return ErrClosed
+	}
+	mb.queue = append(mb.queue, Message{From: c.rank, Tag: tag, Data: cp})
+	mb.mu.Unlock()
+	mb.pulse()
+	return nil
+}
+
+func (c *localComm) Recv(from int, tag Tag) (Message, error) {
+	return recvMailbox(c.boxes[c.rank], from, tag, nil)
+}
+
+func (c *localComm) RecvTimeout(from int, tag Tag, d time.Duration) (Message, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	return recvMailbox(c.boxes[c.rank], from, tag, timer.C)
+}
+
+func (c *localComm) Close() error {
+	mb := c.boxes[c.rank]
+	mb.mu.Lock()
+	mb.closed = true
+	mb.mu.Unlock()
+	mb.pulse()
+	return nil
+}
+
+// takeMatch removes and returns the first queued message matching the
+// pattern. Caller holds the mailbox lock.
+func takeMatch(mb *mailbox, from int, tag Tag) (Message, bool) {
+	for i, m := range mb.queue {
+		if matches(m, from, tag) {
+			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			return m, true
+		}
+	}
+	return Message{}, false
+}

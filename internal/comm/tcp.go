@@ -1,0 +1,376 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP backend: rank 0 hosts a router; every other rank dials in and
+// registers. All traffic flows through the router (star topology), which
+// keeps the protocol simple and lets workers join from anywhere a socket
+// can reach — the property the paper exploits for geographically
+// distributed PVM workers and Linux clusters (§2.2), and that the planned
+// Condor/screensaver workers would rely on (§5).
+//
+// Wire format, all fields big-endian:
+//
+//	frame  := length(u32) from(i32) to(i32) tag(i32) payload
+//	hello  := length(u32)=8 rank(i32) magic(i32)
+//
+// The router acknowledges a hello by echoing the rank.
+
+const tcpMagic int32 = 0x46444d4c // "FDML"
+
+// maxFrameSize bounds a single message (64 MiB), protecting the router
+// from corrupt length prefixes.
+const maxFrameSize = 64 << 20
+
+// tcpRouter is rank 0's endpoint plus the router state.
+type tcpRouter struct {
+	size     int
+	listener net.Listener
+	mb       *mailbox
+
+	mu    sync.Mutex
+	conns map[int]net.Conn
+
+	closed  bool
+	writeMu map[int]*sync.Mutex
+}
+
+// NewTCPRouter starts the rank-0 endpoint listening on addr (for example
+// "127.0.0.1:7946" or ":0"). size is the world size including rank 0.
+// Remote ranks connect with DialTCP. The returned Communicator's Close
+// shuts down the router.
+func NewTCPRouter(addr string, size int) (Communicator, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("comm: tcp world size %d, need >= 2", size)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: listen %s: %w", addr, err)
+	}
+	r := &tcpRouter{
+		size:     size,
+		listener: ln,
+		mb:       newMailbox(),
+		conns:    map[int]net.Conn{},
+		writeMu:  map[int]*sync.Mutex{},
+	}
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the router's listen address (useful with ":0").
+func (r *tcpRouter) Addr() net.Addr { return r.listener.Addr() }
+
+// ListenAddr reports the bound address of a router communicator, or
+// (nil, false) for endpoints that do not listen.
+func ListenAddr(c Communicator) (net.Addr, bool) {
+	if r, ok := c.(*tcpRouter); ok {
+		return r.Addr(), true
+	}
+	return nil, false
+}
+
+func (r *tcpRouter) acceptLoop() {
+	for {
+		conn, err := r.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go r.handshake(conn)
+	}
+}
+
+func (r *tcpRouter) handshake(conn net.Conn) {
+	var hdr [12]byte
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	if binary.BigEndian.Uint32(hdr[0:4]) != 8 ||
+		int32(binary.BigEndian.Uint32(hdr[8:12])) != tcpMagic {
+		conn.Close()
+		return
+	}
+	rank := int(int32(binary.BigEndian.Uint32(hdr[4:8])))
+	if rank <= 0 || rank >= r.size {
+		conn.Close()
+		return
+	}
+	r.mu.Lock()
+	if old, ok := r.conns[rank]; ok {
+		old.Close()
+	}
+	r.conns[rank] = conn
+	if r.writeMu[rank] == nil {
+		r.writeMu[rank] = &sync.Mutex{}
+	}
+	r.mu.Unlock()
+	// Ack.
+	var ack [4]byte
+	binary.BigEndian.PutUint32(ack[:], uint32(rank))
+	if _, err := conn.Write(ack[:]); err != nil {
+		conn.Close()
+		return
+	}
+	go r.readLoop(rank, conn)
+}
+
+func (r *tcpRouter) readLoop(rank int, conn net.Conn) {
+	for {
+		from, to, tag, payload, err := readFrame(conn)
+		if err != nil {
+			r.mu.Lock()
+			if r.conns[rank] == conn {
+				delete(r.conns, rank)
+			}
+			r.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if from != rank {
+			continue // sender cannot spoof its rank
+		}
+		if to == 0 {
+			r.mb.mu.Lock()
+			if !r.mb.closed {
+				r.mb.queue = append(r.mb.queue, Message{From: from, Tag: Tag(tag), Data: payload})
+			}
+			r.mb.mu.Unlock()
+			r.mb.pulse()
+			continue
+		}
+		r.forward(from, to, tag, payload)
+	}
+}
+
+func (r *tcpRouter) forward(from, to int, tag int32, payload []byte) {
+	r.mu.Lock()
+	conn := r.conns[to]
+	wmu := r.writeMu[to]
+	r.mu.Unlock()
+	if conn == nil || wmu == nil {
+		return // destination not connected; drop (fault tolerance handles it)
+	}
+	wmu.Lock()
+	err := writeFrame(conn, from, to, tag, payload)
+	wmu.Unlock()
+	if err != nil {
+		conn.Close()
+	}
+}
+
+func (r *tcpRouter) Rank() int { return 0 }
+func (r *tcpRouter) Size() int { return r.size }
+
+func (r *tcpRouter) Send(to int, tag Tag, data []byte) error {
+	if to == 0 {
+		return fmt.Errorf("comm: rank 0 sending to itself")
+	}
+	if to < 0 || to >= r.size {
+		return fmt.Errorf("comm: send to rank %d of %d", to, r.size)
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.mu.Unlock()
+	r.forward(0, to, int32(tag), data)
+	return nil
+}
+
+func (r *tcpRouter) Recv(from int, tag Tag) (Message, error) {
+	return recvMailbox(r.mb, from, tag, nil)
+}
+
+func (r *tcpRouter) RecvTimeout(from int, tag Tag, d time.Duration) (Message, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	return recvMailbox(r.mb, from, tag, timer.C)
+}
+
+func (r *tcpRouter) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	for _, c := range r.conns {
+		c.Close()
+	}
+	r.conns = map[int]net.Conn{}
+	r.mu.Unlock()
+	r.listener.Close()
+	r.mb.mu.Lock()
+	r.mb.closed = true
+	r.mb.mu.Unlock()
+	r.mb.pulse()
+	return nil
+}
+
+// tcpClient is a non-zero rank connected to the router.
+type tcpClient struct {
+	rank, size int
+	conn       net.Conn
+	mb         *mailbox
+	writeMu    sync.Mutex
+}
+
+// DialTCP connects rank (1..size-1) to a router at addr.
+func DialTCP(addr string, rank, size int) (Communicator, error) {
+	if rank <= 0 || rank >= size {
+		return nil, fmt.Errorf("comm: tcp rank %d of %d (rank 0 is the router)", rank, size)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: dial %s: %w", addr, err)
+	}
+	var hello [12]byte
+	binary.BigEndian.PutUint32(hello[0:4], 8)
+	binary.BigEndian.PutUint32(hello[4:8], uint32(rank))
+	binary.BigEndian.PutUint32(hello[8:12], uint32(tcpMagic))
+	if _, err := conn.Write(hello[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("comm: handshake: %w", err)
+	}
+	var ack [4]byte
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("comm: handshake ack: %w", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	if int(binary.BigEndian.Uint32(ack[:])) != rank {
+		conn.Close()
+		return nil, fmt.Errorf("comm: router rejected rank %d", rank)
+	}
+	c := &tcpClient{rank: rank, size: size, conn: conn, mb: newMailbox()}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *tcpClient) readLoop() {
+	for {
+		from, to, tag, payload, err := readFrame(c.conn)
+		if err != nil {
+			c.mb.mu.Lock()
+			c.mb.closed = true
+			c.mb.mu.Unlock()
+			c.mb.pulse()
+			return
+		}
+		if to != c.rank {
+			continue
+		}
+		c.mb.mu.Lock()
+		if !c.mb.closed {
+			c.mb.queue = append(c.mb.queue, Message{From: from, Tag: Tag(tag), Data: payload})
+		}
+		c.mb.mu.Unlock()
+		c.mb.pulse()
+	}
+}
+
+func (c *tcpClient) Rank() int { return c.rank }
+func (c *tcpClient) Size() int { return c.size }
+
+func (c *tcpClient) Send(to int, tag Tag, data []byte) error {
+	if to < 0 || to >= c.size {
+		return fmt.Errorf("comm: send to rank %d of %d", to, c.size)
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := writeFrame(c.conn, c.rank, to, int32(tag), data); err != nil {
+		return fmt.Errorf("comm: send: %w", err)
+	}
+	return nil
+}
+
+func (c *tcpClient) Recv(from int, tag Tag) (Message, error) {
+	return recvMailbox(c.mb, from, tag, nil)
+}
+
+func (c *tcpClient) RecvTimeout(from int, tag Tag, d time.Duration) (Message, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	return recvMailbox(c.mb, from, tag, timer.C)
+}
+
+func (c *tcpClient) Close() error {
+	c.conn.Close()
+	c.mb.mu.Lock()
+	c.mb.closed = true
+	c.mb.mu.Unlock()
+	c.mb.pulse()
+	return nil
+}
+
+// recvMailbox implements the shared blocking receive over a mailbox.
+func recvMailbox(mb *mailbox, from int, tag Tag, timeout <-chan time.Time) (Message, error) {
+	for {
+		mb.mu.Lock()
+		if m, ok := takeMatch(mb, from, tag); ok {
+			if len(mb.queue) > 0 {
+				mb.pulse()
+			}
+			mb.mu.Unlock()
+			return m, nil
+		}
+		closed := mb.closed
+		mb.mu.Unlock()
+		if closed {
+			return Message{}, ErrClosed
+		}
+		select {
+		case <-mb.arrived:
+		case <-timeout:
+			return Message{}, ErrTimeout
+		}
+	}
+}
+
+// writeFrame emits one framed message.
+func writeFrame(w io.Writer, from, to int, tag int32, payload []byte) error {
+	var hdr [16]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(12+len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(int32(from)))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(int32(to)))
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(tag))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one framed message.
+func readFrame(r io.Reader) (from, to int, tag int32, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < 12 || n > maxFrameSize {
+		err = fmt.Errorf("comm: bad frame length %d", n)
+		return
+	}
+	body := make([]byte, n)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return
+	}
+	from = int(int32(binary.BigEndian.Uint32(body[0:4])))
+	to = int(int32(binary.BigEndian.Uint32(body[4:8])))
+	tag = int32(binary.BigEndian.Uint32(body[8:12]))
+	payload = body[12:]
+	return
+}

@@ -1,0 +1,269 @@
+// Package dnarates estimates per-site relative evolutionary rates by
+// maximum likelihood given a fixed tree, reproducing the role of Olsen's
+// DNArates companion program: "The Markov matrix ... is adjusted at each
+// sequence position to account for differences between loci in propensity
+// to show genetic changes. One program that performs such estimations is
+// Olsen's DNArates" (paper §2).
+//
+// For a site with likelihood L(r) under the tree whose branch lengths are
+// all scaled by r, the estimate is argmax_r log L(r). The implementation
+// evaluates every site against a geometric grid of rates (each grid point
+// is one pruning pass over the compressed patterns) and refines the best
+// grid point with a parabolic fit in log-rate space.
+package dnarates
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/likelihood"
+	"repro/internal/model"
+	"repro/internal/seq"
+	"repro/internal/tree"
+)
+
+// Options control rate estimation.
+type Options struct {
+	// MinRate and MaxRate bound the rate grid (defaults 0.05 and 20).
+	MinRate, MaxRate float64
+	// GridSize is the number of geometric grid points (default 25).
+	GridSize int
+	// Refine enables parabolic refinement around the best grid point
+	// (default on; disable for exact grid snapping).
+	NoRefine bool
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.MinRate <= 0 {
+		o.MinRate = 0.05
+	}
+	if o.MaxRate <= 0 {
+		o.MaxRate = 20
+	}
+	if o.MaxRate <= o.MinRate {
+		return o, fmt.Errorf("dnarates: rate range [%g, %g] is empty", o.MinRate, o.MaxRate)
+	}
+	if o.GridSize <= 1 {
+		o.GridSize = 25
+	}
+	return o, nil
+}
+
+// Rates is the estimation result.
+type Rates struct {
+	// PerSite holds one relative rate per alignment column, normalized
+	// to weighted mean 1 (sites dropped by zero weight get rate 1).
+	PerSite []float64
+	// PerPattern holds the rate per compressed pattern.
+	PerPattern []float64
+	// Grid is the rate grid used.
+	Grid []float64
+	// LnLBefore and LnLAfter are the tree log-likelihoods with uniform
+	// rates and with the estimated rates (after renormalization).
+	LnLBefore, LnLAfter float64
+}
+
+// Estimate fits per-site rates for the alignment on the given tree.
+func Estimate(m model.Model, a *seq.Alignment, tr *tree.Tree, opt Options) (*Rates, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	pat, err := seq.Compress(a, seq.CompressOptions{})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := likelihood.New(m, pat)
+	if err != nil {
+		return nil, err
+	}
+
+	// Geometric grid in [MinRate, MaxRate].
+	grid := make([]float64, opt.GridSize)
+	logMin, logMax := math.Log(opt.MinRate), math.Log(opt.MaxRate)
+	for i := range grid {
+		f := float64(i) / float64(opt.GridSize-1)
+		grid[i] = math.Exp(logMin + f*(logMax-logMin))
+	}
+
+	// Evaluate per-pattern log-likelihood at each grid rate by scaling a
+	// copy of the tree's branch lengths (P(z*r) == P of a tree scaled by
+	// r everywhere).
+	npat := pat.NumPatterns()
+	siteLnL := make([][]float64, len(grid)) // [grid][pattern]
+	for gi, r := range grid {
+		scaled := tr.Clone()
+		for _, e := range scaled.Edges() {
+			tree.SetLen(e.A, e.B, clampScaled(e.Length()*r))
+		}
+		lls, err := eng.SiteLogLikelihoods(scaled)
+		if err != nil {
+			return nil, err
+		}
+		siteLnL[gi] = lls
+	}
+	base, err := eng.SiteLogLikelihoods(tr)
+	if err != nil {
+		return nil, err
+	}
+	lnLBefore := 0.0
+	for p := 0; p < npat; p++ {
+		lnLBefore += pat.Weights[p] * base[p]
+	}
+
+	perPattern := make([]float64, npat)
+	for p := 0; p < npat; p++ {
+		bestGi := 0
+		for gi := 1; gi < len(grid); gi++ {
+			if siteLnL[gi][p] > siteLnL[bestGi][p] {
+				bestGi = gi
+			}
+		}
+		rate := grid[bestGi]
+		if !opt.NoRefine && bestGi > 0 && bestGi < len(grid)-1 {
+			rate = parabolicRefine(
+				math.Log(grid[bestGi-1]), siteLnL[bestGi-1][p],
+				math.Log(grid[bestGi]), siteLnL[bestGi][p],
+				math.Log(grid[bestGi+1]), siteLnL[bestGi+1][p],
+			)
+		}
+		perPattern[p] = rate
+	}
+
+	// Normalize to weighted mean 1 so total tree length keeps meaning.
+	wsum, rsum := 0.0, 0.0
+	for p := 0; p < npat; p++ {
+		wsum += pat.Weights[p]
+		rsum += pat.Weights[p] * perPattern[p]
+	}
+	if rsum <= 0 {
+		return nil, fmt.Errorf("dnarates: degenerate rate estimates")
+	}
+	scale := wsum / rsum
+	for p := range perPattern {
+		perPattern[p] *= scale
+	}
+
+	perSite, err := pat.ExpandPerSite(perPattern, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	// Report the likelihood gain under the fitted rates.
+	ratedPat, err := seq.Compress(a, seq.CompressOptions{Rates: perSite})
+	if err != nil {
+		return nil, err
+	}
+	ratedEng, err := likelihood.New(m, ratedPat)
+	if err != nil {
+		return nil, err
+	}
+	lnLAfter, err := ratedEng.LogLikelihood(tr)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Rates{
+		PerSite:    perSite,
+		PerPattern: perPattern,
+		Grid:       grid,
+		LnLBefore:  lnLBefore,
+		LnLAfter:   lnLAfter,
+	}, nil
+}
+
+// clampScaled keeps scaled branch lengths inside the engine's legal
+// interval.
+func clampScaled(z float64) float64 {
+	if z < likelihood.MinBranchLength {
+		return likelihood.MinBranchLength
+	}
+	if z > likelihood.MaxBranchLength {
+		return likelihood.MaxBranchLength
+	}
+	return z
+}
+
+// parabolicRefine fits a parabola through three (x, y) points and returns
+// exp(x*) of its vertex, clamped to the bracketing interval.
+func parabolicRefine(x0, y0, x1, y1, x2, y2 float64) float64 {
+	d1 := (x1 - x0) * (y1 - y2)
+	d2 := (x1 - x2) * (y1 - y0)
+	denom := 2 * (d1 - d2)
+	if denom == 0 {
+		return math.Exp(x1)
+	}
+	x := x1 - ((x1-x0)*d1-(x1-x2)*d2)/denom
+	if x < x0 {
+		x = x0
+	}
+	if x > x2 {
+		x = x2
+	}
+	return math.Exp(x)
+}
+
+// Categorize buckets rates into ncat geometric categories (fastDNAml
+// accepts category files with up to 35 categories); it returns each
+// site's 1-based category and the representative rate per category (the
+// weighted geometric mean of its members).
+func Categorize(rates []float64, ncat int) ([]int, []float64, error) {
+	if ncat < 1 {
+		return nil, nil, fmt.Errorf("dnarates: %d categories", ncat)
+	}
+	if len(rates) == 0 {
+		return nil, nil, fmt.Errorf("dnarates: no rates")
+	}
+	minR, maxR := rates[0], rates[0]
+	for _, r := range rates {
+		if r <= 0 {
+			return nil, nil, fmt.Errorf("dnarates: non-positive rate %g", r)
+		}
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	cats := make([]int, len(rates))
+	if minR == maxR || ncat == 1 {
+		for i := range cats {
+			cats[i] = 1
+		}
+		return cats, []float64{geoMean(rates, cats, 1, 1)}, nil
+	}
+	logMin, logMax := math.Log(minR), math.Log(maxR)
+	for i, r := range rates {
+		f := (math.Log(r) - logMin) / (logMax - logMin)
+		c := int(f*float64(ncat)) + 1
+		if c > ncat {
+			c = ncat
+		}
+		cats[i] = c
+	}
+	catRates := make([]float64, ncat)
+	for c := 1; c <= ncat; c++ {
+		// Empty categories take their bin's geometric midpoint so the
+		// representative rates stay monotone.
+		mid := math.Exp(logMin + (float64(c)-0.5)/float64(ncat)*(logMax-logMin))
+		catRates[c-1] = geoMean(rates, cats, c, mid)
+	}
+	return cats, catRates, nil
+}
+
+// geoMean returns the geometric mean of the rates in category c, or
+// fallback when the category is empty.
+func geoMean(rates []float64, cats []int, c int, fallback float64) float64 {
+	sum, n := 0.0, 0
+	for i, r := range rates {
+		if cats[i] == c {
+			sum += math.Log(r)
+			n++
+		}
+	}
+	if n == 0 {
+		return fallback
+	}
+	return math.Exp(sum / float64(n))
+}

@@ -1,0 +1,211 @@
+package dnarates
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mlsearch"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+	"repro/internal/tree"
+)
+
+func TestEstimateRecoversHeterogeneity(t *testing.T) {
+	// Simulate with strong rate heterogeneity, then check the estimates
+	// separate fast from slow sites.
+	ds, err := simulate.New(simulate.Options{Taxa: 12, Sites: 600, Seed: 11, GammaAlpha: 0.4, MeanBranchLen: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := seq.Compress(ds.Alignment, seq.CompressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mlsearch.NewDefaultModel(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := Estimate(m, ds.Alignment, ds.TrueTree, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates.PerSite) != 600 {
+		t.Fatalf("%d per-site rates", len(rates.PerSite))
+	}
+	// The fitted rates must correlate positively with the true rates.
+	trueMean := mean(ds.SiteRates)
+	estMean := mean(rates.PerSite)
+	cov := 0.0
+	vT, vE := 0.0, 0.0
+	for i := range rates.PerSite {
+		dt := ds.SiteRates[i] - trueMean
+		de := rates.PerSite[i] - estMean
+		cov += dt * de
+		vT += dt * dt
+		vE += de * de
+	}
+	if vT == 0 || vE == 0 {
+		t.Fatal("degenerate variance")
+	}
+	corr := cov / math.Sqrt(vT*vE)
+	if corr < 0.5 {
+		t.Errorf("rate estimate correlation with truth = %.3f, want >= 0.5", corr)
+	}
+	// Fitting rates must improve the likelihood.
+	if rates.LnLAfter <= rates.LnLBefore {
+		t.Errorf("rates did not improve lnL: %.2f -> %.2f", rates.LnLBefore, rates.LnLAfter)
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestEstimateNormalizedMeanOne(t *testing.T) {
+	ds, err := simulate.New(simulate.Options{Taxa: 8, Sites: 300, Seed: 21, GammaAlpha: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, _ := seq.Compress(ds.Alignment, seq.CompressOptions{})
+	m, _ := mlsearch.NewDefaultModel(pat)
+	rates, err := Estimate(m, ds.Alignment, ds.TrueTree, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted mean over patterns must be 1 (normalization contract).
+	wsum, rsum := 0.0, 0.0
+	ratedPat, _ := seq.Compress(ds.Alignment, seq.CompressOptions{})
+	for p, w := range ratedPat.Weights {
+		wsum += w
+		rsum += w * rates.PerPattern[p]
+	}
+	if math.Abs(rsum/wsum-1) > 1e-9 {
+		t.Errorf("weighted mean rate %.6f, want 1", rsum/wsum)
+	}
+}
+
+func TestEstimateUniformDataStaysFlat(t *testing.T) {
+	// Without simulated heterogeneity the estimates should cluster near
+	// 1 (spread well below the heterogeneous case).
+	ds, err := simulate.New(simulate.Options{Taxa: 10, Sites: 400, Seed: 31, GammaAlpha: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, _ := seq.Compress(ds.Alignment, seq.CompressOptions{})
+	m, _ := mlsearch.NewDefaultModel(pat)
+	rates, err := Estimate(m, ds.Alignment, ds.TrueTree, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := medianOf(rates.PerSite)
+	if med < 0.4 || med > 2.5 {
+		t.Errorf("median rate %.3f for homogeneous data", med)
+	}
+}
+
+func medianOf(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := range cp {
+		for j := i + 1; j < len(cp); j++ {
+			if cp[j] < cp[i] {
+				cp[i], cp[j] = cp[j], cp[i]
+			}
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+func TestEstimateOptionsValidation(t *testing.T) {
+	ds, _ := simulate.New(simulate.Options{Taxa: 5, Sites: 50, Seed: 1})
+	pat, _ := seq.Compress(ds.Alignment, seq.CompressOptions{})
+	m, _ := mlsearch.NewDefaultModel(pat)
+	if _, err := Estimate(m, ds.Alignment, ds.TrueTree, Options{MinRate: 5, MaxRate: 1}); err == nil {
+		t.Error("inverted rate range accepted")
+	}
+}
+
+func TestCategorize(t *testing.T) {
+	rates := []float64{0.1, 0.2, 1.0, 1.1, 5.0, 6.0}
+	cats, catRates, err := Categorize(rates, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cats) != 6 || len(catRates) != 3 {
+		t.Fatalf("shapes: %d cats, %d rates", len(cats), len(catRates))
+	}
+	for i, c := range cats {
+		if c < 1 || c > 3 {
+			t.Errorf("site %d category %d", i, c)
+		}
+	}
+	// Slowest sites share the lowest category; fastest the highest.
+	if cats[0] != 1 || cats[1] != 1 {
+		t.Errorf("slow sites in category %d/%d", cats[0], cats[1])
+	}
+	if cats[4] != 3 || cats[5] != 3 {
+		t.Errorf("fast sites in category %d/%d", cats[4], cats[5])
+	}
+	// Category representative rates increase.
+	for c := 1; c < 3; c++ {
+		if catRates[c] <= catRates[c-1] {
+			t.Errorf("category rates not increasing: %v", catRates)
+		}
+	}
+}
+
+func TestCategorizeEdgeCases(t *testing.T) {
+	if _, _, err := Categorize(nil, 3); err == nil {
+		t.Error("empty rates accepted")
+	}
+	if _, _, err := Categorize([]float64{1, -1}, 2); err == nil {
+		t.Error("negative rate accepted")
+	}
+	cats, catRates, err := Categorize([]float64{2, 2, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cats {
+		if c != 1 {
+			t.Error("constant rates should land in one category")
+		}
+	}
+	if math.Abs(catRates[0]-2) > 1e-12 {
+		t.Errorf("constant category rate %g, want 2", catRates[0])
+	}
+}
+
+// TestRatesImproveSearch: feeding dnarates output back into the search
+// must not break anything and should fit the data at least as well.
+func TestRatesFeedBackIntoSearch(t *testing.T) {
+	ds, err := simulate.New(simulate.Options{Taxa: 7, Sites: 300, Seed: 41, GammaAlpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, _ := seq.Compress(ds.Alignment, seq.CompressOptions{})
+	m, _ := mlsearch.NewDefaultModel(pat)
+	rates, err := Estimate(m, ds.Alignment, ds.TrueTree, Options{GridSize: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratedPat, err := seq.Compress(ds.Alignment, seq.CompressOptions{Rates: rates.PerSite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := mlsearch.NewDefaultModel(ratedPat)
+	cfg := mlsearch.Config{Taxa: ds.Alignment.Names, Patterns: ratedPat, Model: m2, Seed: 5, RearrangeExtent: 1}
+	res, err := mlsearch.RunSerial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tree.ParseNewick(res.BestNewick, cfg.Taxa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package fileio holds the small file-format helpers shared by the
+// command line tools: newline-delimited Newick tree lists and numeric
+// column files (site rates, site weights, category files).
+package fileio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// ReadTrees parses a file of Newick trees (one per line; blank lines and
+// '#' comments ignored) over the given taxon set.
+func ReadTrees(r io.Reader, taxa []string) ([]*tree.Tree, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var out []*tree.Tree
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := tree.ParseNewick(line, taxa)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no trees found")
+	}
+	return out, nil
+}
+
+// ReadTreesFile is ReadTrees over a path.
+func ReadTreesFile(path string, taxa []string) ([]*tree.Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ts, err := ReadTrees(f, taxa)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ts, nil
+}
+
+// TaxaFromTreesFile extracts the taxon labels appearing in the first tree
+// of a Newick file, in order of first appearance, for tools that have no
+// alignment to define the taxon set.
+func TaxaFromTreesFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return ExtractLabels(line)
+	}
+	return nil, fmt.Errorf("%s: no trees found", path)
+}
+
+// ExtractLabels pulls the leaf labels out of one Newick string, in
+// appearance order.
+func ExtractLabels(newick string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	i := 0
+	expectLeaf := true
+	for i < len(newick) {
+		ch := newick[i]
+		switch ch {
+		case '(', ',':
+			expectLeaf = true
+			i++
+		case ')':
+			expectLeaf = false
+			i++
+			// skip internal label
+			for i < len(newick) && newick[i] != ',' && newick[i] != ')' && newick[i] != ':' && newick[i] != ';' {
+				i++
+			}
+		case ':':
+			i++
+			for i < len(newick) && strings.IndexByte("0123456789.eE+-", newick[i]) >= 0 {
+				i++
+			}
+		case ';', ' ', '\t':
+			i++
+		case '[':
+			end := strings.IndexByte(newick[i:], ']')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated comment")
+			}
+			i += end + 1
+		case '\'':
+			j := i + 1
+			var label strings.Builder
+			for j < len(newick) {
+				if newick[j] == '\'' {
+					if j+1 < len(newick) && newick[j+1] == '\'' {
+						label.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				label.WriteByte(newick[j])
+				j++
+			}
+			if j >= len(newick) {
+				return nil, fmt.Errorf("unterminated quoted label")
+			}
+			if expectLeaf && !seen[label.String()] {
+				seen[label.String()] = true
+				out = append(out, label.String())
+			}
+			i = j + 1
+			expectLeaf = false
+		default:
+			j := i
+			for j < len(newick) && strings.IndexByte("(),:;[ \t'", newick[j]) < 0 {
+				j++
+			}
+			label := newick[i:j]
+			if expectLeaf && label != "" && !seen[label] {
+				seen[label] = true
+				out = append(out, label)
+			}
+			i = j
+			expectLeaf = false
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no labels found")
+	}
+	return out, nil
+}
+
+// ReadFloats parses a whitespace/newline-separated list of numbers
+// ('#' comments ignored).
+func ReadFloats(r io.Reader) ([]float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var out []float64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = strings.TrimSpace(line[:idx])
+		}
+		if line == "" {
+			continue
+		}
+		for _, field := range strings.Fields(line) {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %q: %w", lineNo, field, err)
+			}
+			out = append(out, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadFloatsFile is ReadFloats over a path.
+func ReadFloatsFile(path string) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	vs, err := ReadFloats(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return vs, nil
+}
+
+// WriteLines writes strings to a file, one per line.
+func WriteLines(path string, lines []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, line := range lines {
+		fmt.Fprintln(w, line)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,151 @@
+package fileio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadTrees(t *testing.T) {
+	taxa := []string{"a", "b", "c", "d"}
+	in := `# a comment
+((a,b),c,d);
+
+((a,c),b,d);
+`
+	trees, err := ReadTrees(strings.NewReader(in), taxa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 2 {
+		t.Fatalf("%d trees", len(trees))
+	}
+	if trees[0].NumLeaves() != 4 {
+		t.Errorf("tree 0 has %d leaves", trees[0].NumLeaves())
+	}
+}
+
+func TestReadTreesErrors(t *testing.T) {
+	taxa := []string{"a", "b", "c"}
+	if _, err := ReadTrees(strings.NewReader(""), taxa); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadTrees(strings.NewReader("(a,b,zz);"), taxa); err == nil {
+		t.Error("unknown taxon accepted")
+	}
+}
+
+func TestExtractLabels(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"((a:1,b:2):0.5,c,d);", []string{"a", "b", "c", "d"}},
+		{"(a,b,'Homo sapiens');", []string{"a", "b", "Homo sapiens"}},
+		{"((a,b)label,c)root;", []string{"a", "b", "c"}},
+		{"(a,(b,c)[comment]);", []string{"a", "b", "c"}},
+		{"('it''s',b,c);", []string{"it's", "b", "c"}},
+	}
+	for _, c := range cases {
+		got, err := ExtractLabels(c.in)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("%q: got %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%q: got %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+	if _, err := ExtractLabels("();"); err == nil {
+		t.Error("empty tree accepted")
+	}
+}
+
+func TestTaxaFromTreesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trees.nwk")
+	if err := os.WriteFile(path, []byte("# hdr\n((x,y),z,w);\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	taxa, err := TaxaFromTreesFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(taxa) != 4 || taxa[0] != "x" {
+		t.Errorf("taxa = %v", taxa)
+	}
+	if _, err := TaxaFromTreesFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadFloats(t *testing.T) {
+	in := "1.5 2\n# comment\n3e-2  # trailing comment\n\n4\n"
+	vs, err := ReadFloats(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 2, 0.03, 4}
+	if len(vs) != len(want) {
+		t.Fatalf("%v", vs)
+	}
+	for i := range vs {
+		if vs[i] != want[i] {
+			t.Errorf("vs[%d] = %g, want %g", i, vs[i], want[i])
+		}
+	}
+	if _, err := ReadFloats(strings.NewReader("abc")); err == nil {
+		t.Error("non-numeric accepted")
+	}
+}
+
+func TestWriteLinesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteLines(path, []string{"one", "two"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "one\ntwo\n" {
+		t.Errorf("content %q", data)
+	}
+}
+
+func TestReadTreesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trees.nwk")
+	if err := os.WriteFile(path, []byte("((a,b),c,d);\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trees, err := ReadTreesFile(path, []string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 1 {
+		t.Fatalf("%d trees", len(trees))
+	}
+	if _, err := ReadTreesFile(filepath.Join(dir, "nope"), nil); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadFloatsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.txt")
+	if err := os.WriteFile(path, []byte("0.5\n1.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := ReadFloatsFile(path)
+	if err != nil || len(vs) != 2 {
+		t.Fatalf("%v %v", vs, err)
+	}
+}

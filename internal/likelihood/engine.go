@@ -1,0 +1,388 @@
+// Package likelihood evaluates and optimizes the likelihood of unrooted
+// phylogenetic trees under the models in internal/model, implementing the
+// computational core of fastDNAml: Felsenstein's pruning algorithm over
+// compressed site patterns, normalization (scaling) of conditional
+// likelihoods to prevent floating point underflow on large trees (paper
+// §2.1), and Newton-Raphson branch length optimization with analytic
+// first and second derivatives (DNAml's makenewz).
+package likelihood
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/seq"
+	"repro/internal/tree"
+)
+
+// Scaling constants: conditional likelihoods below scaleThreshold are
+// multiplied by scaleFactor and the event is counted; the log-likelihood
+// is corrected by count*logScale at the root.
+const (
+	scaleThreshold = 1e-100
+	scaleFactor    = 1e100
+)
+
+var logScale = math.Log(scaleFactor)
+
+// Branch length bounds and Newton iteration controls (fastDNAml's zmin,
+// zmax and smoothing behaviour).
+const (
+	// MinBranchLength is the smallest branch length considered.
+	MinBranchLength = 1e-8
+	// MaxBranchLength is the largest branch length considered.
+	MaxBranchLength = 10.0
+	// newtonMaxIter bounds the Newton iterations per branch per visit.
+	// Convex-decreasing cases (e.g. identical sequences) descend by the
+	// geometric fallback, so the cap must allow reaching MinBranchLength
+	// from anywhere in the interval.
+	newtonMaxIter = 24
+	// newtonTol is the convergence tolerance on the branch length.
+	newtonTol = 1e-7
+)
+
+// Engine computes log-likelihoods of trees over one fixed data set and
+// model. An Engine is not safe for concurrent use; each worker owns one.
+type Engine struct {
+	mdl model.Model
+	pat *seq.Patterns
+
+	freqs  seq.BaseFreqs
+	decomp *model.Decomposition
+
+	// rate classes: distinct per-pattern rates.
+	classRates []float64
+	classOf    []int // pattern -> class
+
+	// tip conditional likelihoods per taxon: flat [pattern*4+base],
+	// 1 when the observed code is compatible with the base.
+	tips [][]float64
+
+	// per-node buffers indexed by node ID; grown on demand.
+	clv   [][]float64
+	scale [][]int32
+
+	// scratch transition matrices, one per rate class.
+	pmat, dmat, ddmat []model.PMatrix
+
+	// rest-of-tree partial buffers used by the smoothing pass, keyed by
+	// node ID and reused across passes.
+	restClv   map[int][]float64
+	restScale map[int][]int32
+
+	// ops counts pattern-level inner-loop operations, the work-unit
+	// measure consumed by the cluster simulator's cost model.
+	ops uint64
+}
+
+// New builds an engine for the given model and compressed patterns.
+func New(m model.Model, p *seq.Patterns) (*Engine, error) {
+	if p.NumPatterns() == 0 {
+		return nil, fmt.Errorf("likelihood: empty pattern set")
+	}
+	e := &Engine{
+		mdl:    m,
+		pat:    p,
+		freqs:  m.Freqs(),
+		decomp: m.Decomposition(),
+	}
+	// Group patterns into rate classes.
+	classIdx := make(map[float64]int)
+	e.classOf = make([]int, p.NumPatterns())
+	for i, r := range p.Rates {
+		ci, ok := classIdx[r]
+		if !ok {
+			ci = len(e.classRates)
+			classIdx[r] = ci
+			e.classRates = append(e.classRates, r)
+		}
+		e.classOf[i] = ci
+	}
+	e.pmat = make([]model.PMatrix, len(e.classRates))
+	e.dmat = make([]model.PMatrix, len(e.classRates))
+	e.ddmat = make([]model.PMatrix, len(e.classRates))
+
+	// Tip vectors.
+	e.tips = make([][]float64, p.NumSeqs())
+	for taxon := 0; taxon < p.NumSeqs(); taxon++ {
+		v := make([]float64, p.NumPatterns()*4)
+		for s, c := range p.Codes[taxon] {
+			for b := 0; b < 4; b++ {
+				if c&(1<<uint(b)) != 0 {
+					v[s*4+b] = 1
+				}
+			}
+		}
+		e.tips[taxon] = v
+	}
+	return e, nil
+}
+
+// Model returns the engine's substitution model.
+func (e *Engine) Model() model.Model { return e.mdl }
+
+// Patterns returns the engine's data set.
+func (e *Engine) Patterns() *seq.Patterns { return e.pat }
+
+// Ops returns the cumulative pattern-level work counter.
+func (e *Engine) Ops() uint64 { return e.ops }
+
+// ResetOps zeroes the work counter and returns the previous value.
+func (e *Engine) ResetOps() uint64 {
+	v := e.ops
+	e.ops = 0
+	return v
+}
+
+// ensureBuffers sizes the per-node buffers for node IDs < n.
+func (e *Engine) ensureBuffers(n int) {
+	for len(e.clv) < n {
+		e.clv = append(e.clv, nil)
+		e.scale = append(e.scale, nil)
+	}
+}
+
+func (e *Engine) nodeBuf(id int) ([]float64, []int32) {
+	if e.clv[id] == nil {
+		e.clv[id] = make([]float64, e.pat.NumPatterns()*4)
+		e.scale[id] = make([]int32, e.pat.NumPatterns())
+	}
+	return e.clv[id], e.scale[id]
+}
+
+// fillProbs computes the per-class transition matrices for branch length z.
+func (e *Engine) fillProbs(z float64) {
+	for ci, r := range e.classRates {
+		e.decomp.Probs(z, r, &e.pmat[ci])
+	}
+}
+
+// fillProbsDeriv computes matrices and derivatives for branch length z.
+func (e *Engine) fillProbsDeriv(z float64) {
+	for ci, r := range e.classRates {
+		e.decomp.ProbsDeriv(z, r, &e.pmat[ci], &e.dmat[ci], &e.ddmat[ci])
+	}
+}
+
+// clampLen bounds a branch length into the legal interval.
+func clampLen(z float64) float64 {
+	if z < MinBranchLength {
+		return MinBranchLength
+	}
+	if z > MaxBranchLength {
+		return MaxBranchLength
+	}
+	return z
+}
+
+// downPartial computes the conditional likelihood vector of the subtree at
+// n seen from parent (the "down" view of directed edge parent->n),
+// recursing into n's other neighbors. The result lands in n's buffer.
+// Tips are copied from the precomputed tip vectors (scale zero).
+func (e *Engine) downPartial(n, parent *tree.Node) ([]float64, []int32) {
+	npat := e.pat.NumPatterns()
+	clv, sc := e.nodeBuf(n.ID)
+	if n.Leaf() {
+		copy(clv, e.tips[n.Taxon])
+		for i := range sc {
+			sc[i] = 0
+		}
+		return clv, sc
+	}
+
+	first := true
+	for i, child := range n.Nbr {
+		if child == parent {
+			continue
+		}
+		cclv, csc := e.downPartial(child, n)
+		e.fillProbs(clampLen(n.Len[i]))
+		e.ops += uint64(npat) * 16
+		if first {
+			for p := 0; p < npat; p++ {
+				pm := &e.pmat[e.classOf[p]]
+				c0, c1, c2, c3 := cclv[p*4], cclv[p*4+1], cclv[p*4+2], cclv[p*4+3]
+				for j := 0; j < 4; j++ {
+					clv[p*4+j] = pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
+				}
+				sc[p] = csc[p]
+			}
+			first = false
+		} else {
+			for p := 0; p < npat; p++ {
+				pm := &e.pmat[e.classOf[p]]
+				c0, c1, c2, c3 := cclv[p*4], cclv[p*4+1], cclv[p*4+2], cclv[p*4+3]
+				for j := 0; j < 4; j++ {
+					clv[p*4+j] *= pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
+				}
+				sc[p] += csc[p]
+			}
+		}
+	}
+
+	// Underflow protection (paper §2.1): rescale tiny pattern vectors.
+	for p := 0; p < npat; p++ {
+		m := clv[p*4]
+		for j := 1; j < 4; j++ {
+			if clv[p*4+j] > m {
+				m = clv[p*4+j]
+			}
+		}
+		if m < scaleThreshold && m > 0 {
+			for j := 0; j < 4; j++ {
+				clv[p*4+j] *= scaleFactor
+			}
+			sc[p]++
+		}
+	}
+	return clv, sc
+}
+
+// refreshNode recomputes n's down partial (as seen from parent) from its
+// children's currently stored buffers, without recursing.
+func (e *Engine) refreshNode(n, parent *tree.Node) {
+	npat := e.pat.NumPatterns()
+	clv, sc := e.nodeBuf(n.ID)
+	first := true
+	for i, child := range n.Nbr {
+		if child == parent {
+			continue
+		}
+		cclv, csc := e.nodeBuf(child.ID)
+		e.fillProbs(clampLen(n.Len[i]))
+		e.ops += uint64(npat) * 16
+		if first {
+			for p := 0; p < npat; p++ {
+				pm := &e.pmat[e.classOf[p]]
+				c0, c1, c2, c3 := cclv[p*4], cclv[p*4+1], cclv[p*4+2], cclv[p*4+3]
+				for j := 0; j < 4; j++ {
+					clv[p*4+j] = pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
+				}
+				sc[p] = csc[p]
+			}
+			first = false
+		} else {
+			for p := 0; p < npat; p++ {
+				pm := &e.pmat[e.classOf[p]]
+				c0, c1, c2, c3 := cclv[p*4], cclv[p*4+1], cclv[p*4+2], cclv[p*4+3]
+				for j := 0; j < 4; j++ {
+					clv[p*4+j] *= pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
+				}
+				sc[p] += csc[p]
+			}
+		}
+	}
+	for p := 0; p < npat; p++ {
+		m := clv[p*4]
+		for j := 1; j < 4; j++ {
+			if clv[p*4+j] > m {
+				m = clv[p*4+j]
+			}
+		}
+		if m < scaleThreshold && m > 0 {
+			for j := 0; j < 4; j++ {
+				clv[p*4+j] *= scaleFactor
+			}
+			sc[p]++
+		}
+	}
+}
+
+// edgeLogLikelihood combines the two directed partials of edge (a,b) at
+// branch length z into the total log-likelihood.
+func (e *Engine) edgeLogLikelihood(aclv []float64, asc []int32, bclv []float64, bsc []int32, z float64) float64 {
+	npat := e.pat.NumPatterns()
+	e.fillProbs(clampLen(z))
+	e.ops += uint64(npat) * 20
+	total := 0.0
+	for p := 0; p < npat; p++ {
+		pm := &e.pmat[e.classOf[p]]
+		b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
+		lkl := 0.0
+		for i := 0; i < 4; i++ {
+			lkl += e.freqs[i] * aclv[p*4+i] *
+				(pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
+		}
+		if lkl <= 0 {
+			lkl = math.SmallestNonzeroFloat64
+		}
+		total += e.pat.Weights[p] * (math.Log(lkl) - float64(asc[p]+bsc[p])*logScale)
+	}
+	return total
+}
+
+// LogLikelihood evaluates the tree's log-likelihood without changing any
+// branch length. The tree must contain at least two leaves whose taxa are
+// covered by the data set.
+func (e *Engine) LogLikelihood(t *tree.Tree) (float64, error) {
+	if err := e.checkTree(t); err != nil {
+		return 0, err
+	}
+	e.ensureBuffers(t.MaxID())
+	// Evaluate across an arbitrary edge.
+	edges := t.Edges()
+	if len(edges) == 0 {
+		return 0, fmt.Errorf("likelihood: tree has no edges")
+	}
+	ed := edges[0]
+	aclv, asc := e.downPartial(ed.A, ed.B)
+	bclv, bsc := e.downPartial(ed.B, ed.A)
+	return e.edgeLogLikelihood(aclv, asc, bclv, bsc, ed.Length()), nil
+}
+
+// SiteLogLikelihoods returns the per-pattern log-likelihoods of the tree
+// (weights not applied), used by DNArates-style per-site estimation.
+func (e *Engine) SiteLogLikelihoods(t *tree.Tree) ([]float64, error) {
+	if err := e.checkTree(t); err != nil {
+		return nil, err
+	}
+	e.ensureBuffers(t.MaxID())
+	edges := t.Edges()
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("likelihood: tree has no edges")
+	}
+	ed := edges[0]
+	aclv, asc := e.downPartial(ed.A, ed.B)
+	bclv, bsc := e.downPartial(ed.B, ed.A)
+	npat := e.pat.NumPatterns()
+	e.fillProbs(clampLen(ed.Length()))
+	out := make([]float64, npat)
+	for p := 0; p < npat; p++ {
+		pm := &e.pmat[e.classOf[p]]
+		b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
+		lkl := 0.0
+		for i := 0; i < 4; i++ {
+			lkl += e.freqs[i] * aclv[p*4+i] *
+				(pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
+		}
+		if lkl <= 0 {
+			lkl = math.SmallestNonzeroFloat64
+		}
+		out[p] = math.Log(lkl) - float64(asc[p]+bsc[p])*logScale
+	}
+	return out, nil
+}
+
+// checkTree verifies the tree is usable with this data set.
+func (e *Engine) checkTree(t *tree.Tree) error {
+	if len(t.Taxa) != e.pat.NumSeqs() {
+		return fmt.Errorf("likelihood: tree over %d taxa, data has %d sequences", len(t.Taxa), e.pat.NumSeqs())
+	}
+	n := 0
+	for _, node := range t.Nodes {
+		if node == nil {
+			continue
+		}
+		if node.Leaf() {
+			if node.Taxon >= e.pat.NumSeqs() {
+				return fmt.Errorf("likelihood: leaf taxon %d outside data set", node.Taxon)
+			}
+			n++
+		}
+	}
+	if n < 2 {
+		return fmt.Errorf("likelihood: tree has %d leaves, need at least 2", n)
+	}
+	return nil
+}

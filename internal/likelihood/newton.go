@@ -1,0 +1,329 @@
+package likelihood
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tree"
+)
+
+// Branch length optimization: DNAml's makenewz. The likelihood of an edge
+// factorizes as L(z) = Σ_p w_p log Σ_ij π_i A_p[i] P_ij(z) B_p[j], where A
+// is the conditional likelihood of one side and B of the other; P and its
+// z-derivatives are closed-form (spectral decomposition), so Newton's
+// method applies directly, with bisection-style fallbacks and the
+// [MinBranchLength, MaxBranchLength] bounds.
+
+// OptOptions control branch length optimization.
+type OptOptions struct {
+	// Passes is the maximum number of full smoothing passes over the
+	// selected branches (fastDNAml's smoothings). Default 8.
+	Passes int
+	// Tol stops the pass loop when a full pass improves the total
+	// log-likelihood by less than this. Default 1e-5.
+	Tol float64
+	// Around restricts optimization to branches within Radius vertices
+	// of this node (nil optimizes every branch). This mirrors
+	// fastDNAml's insertion-time behaviour of optimizing only the
+	// branches near the new taxon before the full smoothing of the
+	// round's best tree.
+	Around *tree.Node
+	// Radius is the vertex distance bound used with Around; 1 selects
+	// only the branches incident to Around. Default 1.
+	Radius int
+}
+
+func (o OptOptions) withDefaults() OptOptions {
+	if o.Passes <= 0 {
+		o.Passes = 8
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-5
+	}
+	if o.Radius <= 0 {
+		o.Radius = 1
+	}
+	return o
+}
+
+// OptimizeBranches optimizes branch lengths in place and returns the final
+// log-likelihood. With Around set, only nearby branches are optimized but
+// the returned value is still the full-tree log-likelihood.
+func (e *Engine) OptimizeBranches(t *tree.Tree, opt OptOptions) (float64, error) {
+	opt = opt.withDefaults()
+	if err := e.checkTree(t); err != nil {
+		return 0, err
+	}
+	e.ensureBuffers(t.MaxID())
+
+	var allowed map[[2]int]bool
+	if opt.Around != nil {
+		allowed = edgeSetAround(opt.Around, opt.Radius)
+	}
+
+	anchor := t.AnyNode()
+	if anchor.Leaf() {
+		// Fall back to its neighbor when the tree is a single cherry.
+		if anchor.Degree() > 0 && !anchor.Nbr[0].Leaf() {
+			anchor = anchor.Nbr[0]
+		}
+	}
+
+	prev := math.Inf(-1)
+	last := prev
+	for pass := 0; pass < opt.Passes; pass++ {
+		e.smoothPass(t, anchor, allowed)
+		lnL, err := e.LogLikelihood(t)
+		if err != nil {
+			return 0, err
+		}
+		last = lnL
+		if lnL-prev < opt.Tol {
+			break
+		}
+		prev = lnL
+	}
+	return last, nil
+}
+
+// edgeSetAround collects the undirected edges within radius vertices of n.
+func edgeSetAround(n *tree.Node, radius int) map[[2]int]bool {
+	out := make(map[[2]int]bool)
+	type item struct {
+		node *tree.Node
+		dist int
+	}
+	visited := map[int]bool{n.ID: true}
+	queue := []item{{n, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.dist >= radius {
+			continue
+		}
+		for _, m := range cur.node.Nbr {
+			out[edgeKey(cur.node, m)] = true
+			if !visited[m.ID] {
+				visited[m.ID] = true
+				queue = append(queue, item{m, cur.dist + 1})
+			}
+		}
+	}
+	return out
+}
+
+func edgeKey(a, b *tree.Node) [2]int {
+	if a.ID < b.ID {
+		return [2]int{a.ID, b.ID}
+	}
+	return [2]int{b.ID, a.ID}
+}
+
+// smoothPass performs one depth-first smoothing pass from anchor: fresh
+// down partials, then per-edge Newton visits with "rest of tree" partials
+// propagated downward.
+func (e *Engine) smoothPass(t *tree.Tree, anchor *tree.Node, allowed map[[2]int]bool) {
+	npat := e.pat.NumPatterns()
+	// Fresh down partials for every direction away from anchor.
+	for _, child := range anchor.Nbr {
+		e.downPartial(child, anchor)
+	}
+
+	// Per-node rest buffers (allocated lazily, reused across passes).
+	if e.restClv == nil {
+		e.restClv = map[int][]float64{}
+		e.restScale = map[int][]int32{}
+	}
+	restOf := func(id int) ([]float64, []int32) {
+		if e.restClv[id] == nil {
+			e.restClv[id] = make([]float64, npat*4)
+			e.restScale[id] = make([]int32, npat)
+		}
+		return e.restClv[id], e.restScale[id]
+	}
+
+	// computeRest fills rest(p->u): the partial at p excluding subtree(u).
+	// parentRest is rest(pp->p) when p has a parent pp (nil at anchor).
+	computeRest := func(p, u, pp *tree.Node, parentRest []float64, parentRestSc []int32) ([]float64, []int32) {
+		rclv, rsc := restOf(u.ID)
+		first := true
+		for i, v := range p.Nbr {
+			if v == u {
+				continue
+			}
+			var src []float64
+			var srcSc []int32
+			if v == pp {
+				src, srcSc = parentRest, parentRestSc
+			} else {
+				src, srcSc = e.clv[v.ID], e.scale[v.ID]
+			}
+			e.fillProbs(clampLen(p.Len[i]))
+			e.ops += uint64(npat) * 16
+			if first {
+				for pt := 0; pt < npat; pt++ {
+					pm := &e.pmat[e.classOf[pt]]
+					c0, c1, c2, c3 := src[pt*4], src[pt*4+1], src[pt*4+2], src[pt*4+3]
+					for j := 0; j < 4; j++ {
+						rclv[pt*4+j] = pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
+					}
+					rsc[pt] = srcSc[pt]
+				}
+				first = false
+			} else {
+				for pt := 0; pt < npat; pt++ {
+					pm := &e.pmat[e.classOf[pt]]
+					c0, c1, c2, c3 := src[pt*4], src[pt*4+1], src[pt*4+2], src[pt*4+3]
+					for j := 0; j < 4; j++ {
+						rclv[pt*4+j] *= pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
+					}
+					rsc[pt] += srcSc[pt]
+				}
+			}
+		}
+		if first {
+			// p is a leaf seen from u: rest is p's tip vector.
+			copy(rclv, e.tips[p.Taxon])
+			for i := range rsc {
+				rsc[i] = 0
+			}
+		}
+		// Rescale.
+		for pt := 0; pt < npat; pt++ {
+			m := rclv[pt*4]
+			for j := 1; j < 4; j++ {
+				if rclv[pt*4+j] > m {
+					m = rclv[pt*4+j]
+				}
+			}
+			if m < scaleThreshold && m > 0 {
+				for j := 0; j < 4; j++ {
+					rclv[pt*4+j] *= scaleFactor
+				}
+				rsc[pt]++
+			}
+		}
+		return rclv, rsc
+	}
+
+	// DFS: optimize edge (p->u), then descend.
+	var visit func(u, p, pp *tree.Node, parentRest []float64, parentRestSc []int32)
+	visit = func(u, p, pp *tree.Node, parentRest []float64, parentRestSc []int32) {
+		rclv, rsc := computeRest(p, u, pp, parentRest, parentRestSc)
+		if allowed == nil || allowed[edgeKey(p, u)] {
+			z0 := u.LenTo(p)
+			z := e.newtonEdge(rclv, rsc, e.clv[u.ID], e.scale[u.ID], z0)
+			tree.SetLen(p, u, z)
+		}
+		for _, c := range u.Nbr {
+			if c != p {
+				visit(c, u, p, rclv, rsc)
+			}
+		}
+		// Refresh u's down partial with the updated lengths below it, so
+		// subsequent siblings at p see current values. The children's
+		// buffers are already fresh (their visits refreshed them), so a
+		// single non-recursive combine suffices.
+		if !u.Leaf() {
+			e.refreshNode(u, p)
+		}
+	}
+	for _, child := range anchor.Nbr {
+		visit(child, anchor, nil, nil, nil)
+	}
+}
+
+// newtonEdge maximizes the edge log-likelihood over the branch length,
+// starting from z0, returning the improved length (never worse than z0).
+func (e *Engine) newtonEdge(aclv []float64, asc []int32, bclv []float64, bsc []int32, z0 float64) float64 {
+	z := clampLen(z0)
+	start := z
+	for iter := 0; iter < newtonMaxIter; iter++ {
+		d1, d2 := e.edgeDerivatives(aclv, bclv, z)
+		var next float64
+		if d2 < 0 {
+			next = z - d1/d2
+		} else {
+			// Not locally concave: move geometrically in the gradient
+			// direction (the likelihood is convex in z when the optimum
+			// sits at a bound, e.g. identical sequences).
+			if d1 > 0 {
+				next = z * 8
+			} else {
+				next = z / 8
+			}
+		}
+		if math.IsNaN(next) || math.IsInf(next, 0) {
+			break
+		}
+		next = clampLen(next)
+		// Dampen huge Newton jumps (fastDNAml limits the step as well).
+		if next > 8*z {
+			next = 8 * z
+		}
+		if next < z/8 {
+			next = z / 8
+		}
+		next = clampLen(next)
+		if math.Abs(next-z) < newtonTol*(z+newtonTol) {
+			z = next
+			break
+		}
+		z = next
+	}
+	// Guard: accept only if not worse than the starting length.
+	if z != start {
+		before := e.edgeLogLikelihood(aclv, asc, bclv, bsc, start)
+		after := e.edgeLogLikelihood(aclv, asc, bclv, bsc, z)
+		if after < before {
+			return start
+		}
+	}
+	return z
+}
+
+// edgeDerivatives computes d/dz and d²/dz² of the edge log-likelihood.
+func (e *Engine) edgeDerivatives(aclv, bclv []float64, z float64) (float64, float64) {
+	npat := e.pat.NumPatterns()
+	e.fillProbsDeriv(clampLen(z))
+	e.ops += uint64(npat) * 48
+	d1, d2 := 0.0, 0.0
+	for p := 0; p < npat; p++ {
+		ci := e.classOf[p]
+		pm, dm, ddm := &e.pmat[ci], &e.dmat[ci], &e.ddmat[ci]
+		b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
+		var l, dl, ddl float64
+		for i := 0; i < 4; i++ {
+			ai := e.freqs[i] * aclv[p*4+i]
+			l += ai * (pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
+			dl += ai * (dm[i][0]*b0 + dm[i][1]*b1 + dm[i][2]*b2 + dm[i][3]*b3)
+			ddl += ai * (ddm[i][0]*b0 + ddm[i][1]*b1 + ddm[i][2]*b2 + ddm[i][3]*b3)
+		}
+		if l <= 0 {
+			l = math.SmallestNonzeroFloat64
+		}
+		w := e.pat.Weights[p]
+		r := dl / l
+		d1 += w * r
+		d2 += w * (ddl/l - r*r)
+	}
+	return d1, d2
+}
+
+// OptimizeEdge optimizes a single edge's branch length in place and
+// returns the resulting full-tree log-likelihood. Exposed for tests and
+// fine-grained use.
+func (e *Engine) OptimizeEdge(t *tree.Tree, ed tree.Edge) (float64, error) {
+	if err := e.checkTree(t); err != nil {
+		return 0, err
+	}
+	if ed.A.NbrIndex(ed.B) < 0 {
+		return 0, fmt.Errorf("likelihood: edge %d-%d does not exist", ed.A.ID, ed.B.ID)
+	}
+	e.ensureBuffers(t.MaxID())
+	aclv, asc := e.downPartial(ed.A, ed.B)
+	bclv, bsc := e.downPartial(ed.B, ed.A)
+	z := e.newtonEdge(aclv, asc, bclv, bsc, ed.Length())
+	tree.SetLen(ed.A, ed.B, z)
+	return e.edgeLogLikelihood(aclv, asc, bclv, bsc, z), nil
+}

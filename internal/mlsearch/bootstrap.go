@@ -1,0 +1,142 @@
+package mlsearch
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+	"repro/internal/seq"
+)
+
+// Worker bootstrap for distributed (TCP) runs. MPI programs typically
+// broadcast the sequence data to every rank at startup; here a joining
+// worker sends a JOIN control message to rank 0 and receives a DataBundle
+// carrying the alignment and model settings, then enters the normal
+// worker loop. This is what lets the paper's geographically distributed
+// PVM workers and the planned Condor/screensaver workers (§2.2, §5) run
+// with nothing but a socket to the master.
+
+// DataBundle is everything a worker needs to evaluate tasks.
+type DataBundle struct {
+	// PhylipText is the alignment in interleaved PHYLIP form.
+	PhylipText []byte
+	// TTRatio is the F84 transition/transversion ratio.
+	TTRatio float64
+	// SiteRates are optional per-site rates (empty = homogeneous).
+	SiteRates []float64
+	// Weights are optional per-site weights (empty = uniform).
+	Weights []float64
+}
+
+const (
+	bootJoin byte = 0x4A // 'J'
+	bootData byte = 0x44 // 'D'
+)
+
+// MarshalDataBundle encodes a bundle.
+func MarshalDataBundle(b DataBundle) []byte {
+	var w wireWriter
+	w.buf = append(w.buf, bootData)
+	w.str(string(b.PhylipText))
+	w.f64(b.TTRatio)
+	w.i32(int32(len(b.SiteRates)))
+	for _, r := range b.SiteRates {
+		w.f64(r)
+	}
+	w.i32(int32(len(b.Weights)))
+	for _, x := range b.Weights {
+		w.f64(x)
+	}
+	return w.buf
+}
+
+// UnmarshalDataBundle decodes a bundle.
+func UnmarshalDataBundle(data []byte) (DataBundle, error) {
+	if len(data) == 0 || data[0] != bootData {
+		return DataBundle{}, fmt.Errorf("mlsearch: not a data bundle")
+	}
+	r := wireReader{buf: data[1:]}
+	b := DataBundle{
+		PhylipText: []byte(r.str("bundle alignment")),
+		TTRatio:    r.f64("bundle ratio"),
+	}
+	n := r.i32("bundle rate count")
+	for i := int32(0); i < n && r.err == nil; i++ {
+		b.SiteRates = append(b.SiteRates, r.f64("bundle rate"))
+	}
+	n = r.i32("bundle weight count")
+	for i := int32(0); i < n && r.err == nil; i++ {
+		b.Weights = append(b.Weights, r.f64("bundle weight"))
+	}
+	return b, r.done("data bundle")
+}
+
+// Build materializes the bundle into the worker-side dataset.
+func (b DataBundle) Build() (model.Model, *seq.Patterns, []string, error) {
+	a, err := seq.ReadPhylip(bytes.NewReader(b.PhylipText))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("mlsearch: bundle alignment: %w", err)
+	}
+	var rates, weights []float64
+	if len(b.SiteRates) > 0 {
+		rates = b.SiteRates
+	}
+	if len(b.Weights) > 0 {
+		weights = b.Weights
+	}
+	pat, err := seq.Compress(a, seq.CompressOptions{Rates: rates, Weights: weights})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ttr := b.TTRatio
+	if ttr <= 0 {
+		ttr = model.DefaultTTRatio
+	}
+	m, err := model.NewF84(seq.EmpiricalFreqsPatterns(pat), ttr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return m, pat, a.Names, nil
+}
+
+// ServeBundles answers the JOIN message of each expected worker with the
+// bundle. Rank 0 (the master) calls it before starting the search.
+func ServeBundles(c comm.Communicator, bundle DataBundle, expected int) error {
+	payload := MarshalDataBundle(bundle)
+	for i := 0; i < expected; i++ {
+		msg, err := c.Recv(comm.AnySource, comm.TagControl)
+		if err != nil {
+			return fmt.Errorf("mlsearch: waiting for workers (%d/%d joined): %w", i, expected, err)
+		}
+		if len(msg.Data) != 1 || msg.Data[0] != bootJoin {
+			return fmt.Errorf("mlsearch: unexpected control message from rank %d during join", msg.From)
+		}
+		if err := c.Send(msg.From, comm.TagControl, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JoinAndServe is the distributed worker's entry point: announce to rank
+// 0, receive the data bundle, and run the worker loop against the
+// layout's foreman.
+func JoinAndServe(c comm.Communicator, lay Layout, hooks WorkerHooks) error {
+	if err := c.Send(0, comm.TagControl, []byte{bootJoin}); err != nil {
+		return fmt.Errorf("mlsearch: join: %w", err)
+	}
+	msg, err := c.Recv(0, comm.TagControl)
+	if err != nil {
+		return fmt.Errorf("mlsearch: awaiting data bundle: %w", err)
+	}
+	bundle, err := UnmarshalDataBundle(msg.Data)
+	if err != nil {
+		return err
+	}
+	m, pat, taxa, err := bundle.Build()
+	if err != nil {
+		return err
+	}
+	return RunWorker(c, lay, m, pat, taxa, hooks)
+}

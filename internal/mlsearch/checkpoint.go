@@ -1,0 +1,193 @@
+package mlsearch
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// Checkpointing: fastDNAml writes restart files so multi-day analyses
+// survive machine failures. A checkpoint captures the search position
+// after a completed taxon addition (or the final phase): the taxon order,
+// how many of them are in the tree, and the current best tree.
+
+// Checkpoint phases.
+const (
+	// PhaseAdding means taxa Order[:NextIndex] are in the tree and
+	// Order[NextIndex] is next to insert.
+	PhaseAdding = "adding"
+	// PhaseFinal means every taxon is in the tree; the final
+	// rearrangement pass is still to run.
+	PhaseFinal = "final"
+	// PhaseDone means the search finished.
+	PhaseDone = "done"
+)
+
+// Checkpoint is a resumable search position.
+type Checkpoint struct {
+	// Seed is the (normalized) seed of the ordering.
+	Seed int64
+	// Jumble is the ordering's index in a multi-jumble run.
+	Jumble int
+	// Order is the full taxon insertion order.
+	Order []int
+	// NextIndex is the position in Order of the next taxon to insert
+	// (== len(Order) when all are in).
+	NextIndex int
+	// Phase is PhaseAdding, PhaseFinal, or PhaseDone.
+	Phase string
+	// Newick is the current best tree.
+	Newick string
+	// LnL is the current best log-likelihood.
+	LnL float64
+}
+
+// Validate checks internal consistency against a taxon count.
+func (cp Checkpoint) Validate(numTaxa int) error {
+	if len(cp.Order) != numTaxa {
+		return fmt.Errorf("mlsearch: checkpoint order covers %d of %d taxa", len(cp.Order), numTaxa)
+	}
+	seen := make([]bool, numTaxa)
+	for _, t := range cp.Order {
+		if t < 0 || t >= numTaxa || seen[t] {
+			return fmt.Errorf("mlsearch: checkpoint order is not a permutation")
+		}
+		seen[t] = true
+	}
+	switch cp.Phase {
+	case PhaseAdding:
+		if cp.NextIndex < 3 || cp.NextIndex > len(cp.Order) {
+			return fmt.Errorf("mlsearch: checkpoint next index %d out of range", cp.NextIndex)
+		}
+	case PhaseFinal, PhaseDone:
+		if cp.NextIndex != len(cp.Order) {
+			return fmt.Errorf("mlsearch: %s checkpoint with next index %d", cp.Phase, cp.NextIndex)
+		}
+	default:
+		return fmt.Errorf("mlsearch: unknown checkpoint phase %q", cp.Phase)
+	}
+	if cp.Newick == "" {
+		return fmt.Errorf("mlsearch: checkpoint without a tree")
+	}
+	return nil
+}
+
+// WriteCheckpoint writes the human-readable checkpoint format:
+//
+//	fastdnaml-checkpoint v1
+//	seed <n>
+//	jumble <n>
+//	phase adding|final|done
+//	next <n>
+//	order <i0>,<i1>,...
+//	lnl <float>
+//	tree <newick>
+func WriteCheckpoint(w io.Writer, cp Checkpoint) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "fastdnaml-checkpoint v1")
+	fmt.Fprintf(bw, "seed %d\n", cp.Seed)
+	fmt.Fprintf(bw, "jumble %d\n", cp.Jumble)
+	fmt.Fprintf(bw, "phase %s\n", cp.Phase)
+	fmt.Fprintf(bw, "next %d\n", cp.NextIndex)
+	parts := make([]string, len(cp.Order))
+	for i, t := range cp.Order {
+		parts[i] = strconv.Itoa(t)
+	}
+	fmt.Fprintf(bw, "order %s\n", strings.Join(parts, ","))
+	fmt.Fprintf(bw, "lnl %s\n", strconv.FormatFloat(cp.LnL, 'g', 17, 64))
+	fmt.Fprintf(bw, "tree %s\n", cp.Newick)
+	return bw.Flush()
+}
+
+// ReadCheckpoint parses a checkpoint file.
+func ReadCheckpoint(r io.Reader) (Checkpoint, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var cp Checkpoint
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != "fastdnaml-checkpoint v1" {
+		return cp, fmt.Errorf("mlsearch: not a fastdnaml checkpoint")
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, " ")
+		if !ok {
+			return cp, fmt.Errorf("mlsearch: bad checkpoint line %q", line)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cp.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "jumble":
+			cp.Jumble, err = strconv.Atoi(val)
+		case "phase":
+			cp.Phase = val
+		case "next":
+			cp.NextIndex, err = strconv.Atoi(val)
+		case "order":
+			for _, f := range strings.Split(val, ",") {
+				v, cerr := strconv.Atoi(strings.TrimSpace(f))
+				if cerr != nil {
+					return cp, fmt.Errorf("mlsearch: bad checkpoint order: %w", cerr)
+				}
+				cp.Order = append(cp.Order, v)
+			}
+		case "lnl":
+			cp.LnL, err = strconv.ParseFloat(val, 64)
+		case "tree":
+			cp.Newick = val
+		default:
+			return cp, fmt.Errorf("mlsearch: unknown checkpoint key %q", key)
+		}
+		if err != nil {
+			return cp, fmt.Errorf("mlsearch: bad checkpoint %s: %w", key, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return cp, err
+	}
+	return cp, nil
+}
+
+// Resume continues a search from a checkpoint. The configuration must
+// describe the same data set; the checkpoint's order and tree take
+// precedence over the seed-derived order.
+func (s *Search) Resume(cp Checkpoint) (*SearchResult, error) {
+	if err := cp.Validate(len(s.cfg.Taxa)); err != nil {
+		return nil, err
+	}
+	tr, err := tree.ParseNewick(cp.Newick, s.cfg.Taxa)
+	if err != nil {
+		return nil, fmt.Errorf("mlsearch: checkpoint tree: %w", err)
+	}
+	if err := tr.Validate(true); err != nil {
+		return nil, fmt.Errorf("mlsearch: checkpoint tree: %w", err)
+	}
+	// The tree must contain exactly the first NextIndex taxa of the order.
+	inTree := tr.TaxaInTree()
+	if len(inTree) != cp.NextIndex {
+		return nil, fmt.Errorf("mlsearch: checkpoint tree has %d taxa, order position says %d", len(inTree), cp.NextIndex)
+	}
+	want := append([]int(nil), cp.Order[:cp.NextIndex]...)
+	sort.Ints(want)
+	for i := range want {
+		if want[i] != inTree[i] {
+			return nil, fmt.Errorf("mlsearch: checkpoint tree does not match the order prefix")
+		}
+	}
+	if cp.Phase == PhaseDone {
+		return &SearchResult{
+			BestNewick: tr.Newick(),
+			LnL:        cp.LnL,
+			Order:      cp.Order,
+		}, nil
+	}
+	return s.run(cp.Order, tr, cp.LnL, cp.NextIndex, cp.Phase == PhaseFinal)
+}

@@ -1,0 +1,55 @@
+package mlsearch
+
+import (
+	"fmt"
+
+	"repro/internal/likelihood"
+	"repro/internal/tree"
+)
+
+// Evaluator executes Tasks against one engine. The serial dispatcher and
+// the worker process share it, so serial and parallel runs produce
+// bit-identical results for the same tasks.
+type Evaluator struct {
+	eng  *likelihood.Engine
+	taxa []string
+}
+
+// NewEvaluator wraps a likelihood engine for task evaluation.
+func NewEvaluator(eng *likelihood.Engine, taxa []string) *Evaluator {
+	return &Evaluator{eng: eng, taxa: taxa}
+}
+
+// Evaluate parses the task's tree, optimizes branch lengths as requested,
+// and returns the result. The Ops field reports the work units consumed
+// by exactly this evaluation.
+func (ev *Evaluator) Evaluate(t Task) (Result, error) {
+	tr, err := tree.ParseNewick(t.Newick, ev.taxa)
+	if err != nil {
+		return Result{}, fmt.Errorf("mlsearch: task %d: %w", t.ID, err)
+	}
+	opsBefore := ev.eng.Ops()
+
+	opt := likelihood.OptOptions{Passes: int(t.Passes)}
+	if t.LocalTaxon >= 0 {
+		leaf := tr.LeafByTaxon(int(t.LocalTaxon))
+		if leaf == nil {
+			return Result{}, fmt.Errorf("mlsearch: task %d: local taxon %d not in tree", t.ID, t.LocalTaxon)
+		}
+		if leaf.Degree() > 0 {
+			opt.Around = leaf.Nbr[0]
+			opt.Radius = 2
+		}
+	}
+	lnL, err := ev.eng.OptimizeBranches(tr, opt)
+	if err != nil {
+		return Result{}, fmt.Errorf("mlsearch: task %d: %w", t.ID, err)
+	}
+	return Result{
+		TaskID: t.ID,
+		Round:  t.Round,
+		Newick: tr.Newick(),
+		LnL:    lnL,
+		Ops:    ev.eng.Ops() - opsBefore,
+	}, nil
+}

@@ -1,0 +1,268 @@
+package mlsearch
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// The foreman (paper §2.2): "dispatches trees to worker processes for
+// analysis, receives back trees and their associated likelihood values,
+// and compares the likelihood values to determine which tree has the
+// highest likelihood value at any given step. The foreman manages this
+// process via a work queue and a ready queue. The work queue includes a
+// record of the tree dispatched to each worker and the time the tree was
+// dispatched (used to implement fault tolerance)."
+//
+// Worker liveness state persists across rounds: a worker removed for
+// missing its deadline stays removed until a reply (however stale)
+// arrives from it, at which point it is reinstated.
+
+// ForemanOptions tune dispatch behaviour.
+type ForemanOptions struct {
+	// TaskTimeout is the paper's user-specified timeout parameter: a
+	// worker that fails to return an evaluated tree within it is removed
+	// from the list of available workers and its tree is re-dispatched.
+	// Zero disables fault tolerance. Default 60s.
+	TaskTimeout time.Duration
+	// Tick bounds how long the foreman blocks between deadline scans.
+	// Default 50ms, or TaskTimeout/4 if smaller.
+	Tick time.Duration
+}
+
+func (o ForemanOptions) withDefaults() ForemanOptions {
+	if o.TaskTimeout == 0 {
+		o.TaskTimeout = 60 * time.Second
+	}
+	if o.Tick <= 0 {
+		o.Tick = 50 * time.Millisecond
+		if o.TaskTimeout > 0 && o.TaskTimeout/4 < o.Tick {
+			o.Tick = o.TaskTimeout / 4
+		}
+	}
+	return o
+}
+
+// foreman carries state across the whole run.
+type foreman struct {
+	c   comm.Communicator
+	lay Layout
+	opt ForemanOptions
+
+	// ready lists idle, alive workers (FIFO).
+	ready []int
+	// busy maps a worker rank to its current assignment.
+	busy map[int]dispatchRecord
+	// dead marks workers removed for missing a deadline.
+	dead map[int]bool
+
+	// Per-round state.
+	queue   []Task
+	byID    map[uint64]Task
+	results map[uint64]Result
+}
+
+type dispatchRecord struct {
+	task     Task
+	deadline time.Time
+	sent     time.Time
+}
+
+// RunForeman executes the foreman role until a shutdown message arrives
+// from the master. On shutdown it forwards the shutdown to every worker
+// and to the monitor.
+func RunForeman(c comm.Communicator, lay Layout, opt ForemanOptions) error {
+	if err := lay.Validate(); err != nil {
+		return err
+	}
+	f := &foreman{
+		c:    c,
+		lay:  lay,
+		opt:  opt.withDefaults(),
+		busy: map[int]dispatchRecord{},
+		dead: map[int]bool{},
+	}
+	f.ready = append(f.ready, lay.Workers...)
+
+	for {
+		msg, err := c.Recv(lay.Master, comm.AnyTag)
+		if err != nil {
+			return fmt.Errorf("mlsearch: foreman receive: %w", err)
+		}
+		switch msg.Tag {
+		case comm.TagShutdown:
+			for _, w := range lay.Workers {
+				_ = c.Send(w, comm.TagShutdown, nil)
+			}
+			if lay.Monitor >= 0 {
+				_ = c.Send(lay.Monitor, comm.TagShutdown, nil)
+			}
+			return nil
+		case comm.TagControl:
+			batch, err := unmarshalRoundBatch(msg.Data)
+			if err != nil {
+				return err
+			}
+			reply, err := f.runRound(batch)
+			if err != nil {
+				return err
+			}
+			if err := c.Send(lay.Master, comm.TagControl, marshalRoundReply(reply)); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("mlsearch: foreman got unexpected tag %d", msg.Tag)
+		}
+	}
+}
+
+// runRound dispatches a batch until every task completes.
+func (f *foreman) runRound(batch roundBatch) (roundReply, error) {
+	f.queue = append([]Task(nil), batch.Tasks...)
+	f.byID = map[uint64]Task{}
+	f.results = map[uint64]Result{}
+	for _, t := range batch.Tasks {
+		f.byID[t.ID] = t
+	}
+	f.event(monRoundStart, 0, batch.Round, fmt.Sprintf("tasks=%d", len(batch.Tasks)))
+
+	for len(f.results) < len(f.byID) {
+		f.assign()
+		msg, err := f.c.RecvTimeout(comm.AnySource, comm.TagResult, f.opt.Tick)
+		switch err {
+		case nil:
+			if err := f.handleResult(msg); err != nil {
+				return roundReply{}, err
+			}
+		case comm.ErrTimeout:
+			// fall through to the deadline scan
+		default:
+			return roundReply{}, fmt.Errorf("mlsearch: foreman round: %w", err)
+		}
+		f.expire()
+	}
+
+	// Build the reply: stats sorted by task ID, best by (LnL, task ID).
+	var stats []Result
+	for _, r := range f.results {
+		stats = append(stats, r)
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].TaskID < stats[j].TaskID })
+	best := bestOf(stats)
+	stripped := make([]Result, len(stats))
+	for i, r := range stats {
+		if !f.byID[r.TaskID].KeepTree {
+			r.Newick = ""
+		}
+		stripped[i] = r
+	}
+	f.event(monRoundDone, 0, batch.Round, fmt.Sprintf("best=%.4f", best.LnL))
+	return roundReply{Round: batch.Round, Best: best, Stats: stripped}, nil
+}
+
+// pushReady returns a worker to the ready queue, clearing its dead flag
+// and avoiding duplicates.
+func (f *foreman) pushReady(w int) {
+	delete(f.dead, w)
+	if _, isBusy := f.busy[w]; isBusy {
+		return
+	}
+	for _, r := range f.ready {
+		if r == w {
+			return
+		}
+	}
+	f.ready = append(f.ready, w)
+}
+
+// assign hands queued tasks to ready workers.
+func (f *foreman) assign() {
+	for len(f.queue) > 0 && len(f.ready) > 0 {
+		t := f.queue[0]
+		f.queue = f.queue[1:]
+		if _, done := f.results[t.ID]; done {
+			continue // a requeued copy already finished elsewhere
+		}
+		w := f.ready[0]
+		f.ready = f.ready[1:]
+		now := time.Now()
+		rec := dispatchRecord{task: t, sent: now}
+		if f.opt.TaskTimeout > 0 {
+			rec.deadline = now.Add(f.opt.TaskTimeout)
+		}
+		if err := f.c.Send(w, comm.TagTask, MarshalTask(t)); err != nil {
+			// Treat an unsendable worker as dead and requeue the task.
+			f.dead[w] = true
+			f.queue = append([]Task{t}, f.queue...)
+			f.event(monWorkerDead, w, t.Round, "send failed")
+			continue
+		}
+		f.busy[w] = rec
+		f.event(monDispatch, w, t.Round, fmt.Sprintf("task=%d", t.ID))
+	}
+}
+
+// handleResult processes a worker's TagResult message.
+func (f *foreman) handleResult(msg comm.Message) error {
+	res, err := UnmarshalResult(msg.Data)
+	if err != nil {
+		return err
+	}
+	w := msg.From
+	res.Worker = int32(w)
+
+	if f.dead[w] {
+		// Paper §2.2: "If at some later time a response is received from
+		// the delinquent worker, then that worker is added back into the
+		// list of workers available to analyze trees."
+		f.event(monWorkerRevived, w, res.Round, "")
+	}
+	if rec, ok := f.busy[w]; ok && rec.task.ID == res.TaskID {
+		delete(f.busy, w)
+	}
+	if _, known := f.byID[res.TaskID]; known {
+		if _, dup := f.results[res.TaskID]; !dup {
+			f.results[res.TaskID] = res
+			f.event(monResult, w, res.Round, fmt.Sprintf("task=%d lnl=%.4f", res.TaskID, res.LnL))
+		}
+	}
+	f.pushReady(w)
+	return nil
+}
+
+// expire removes workers whose deadline passed, requeueing their tasks
+// (paper §2.2: "that particular worker is removed from the list of
+// available workers, and the tree that had been dispatched to that worker
+// is sent to a different worker").
+func (f *foreman) expire() {
+	if f.opt.TaskTimeout <= 0 {
+		return
+	}
+	now := time.Now()
+	for w, rec := range f.busy {
+		if now.After(rec.deadline) {
+			delete(f.busy, w)
+			f.dead[w] = true
+			if _, done := f.results[rec.task.ID]; !done {
+				f.queue = append([]Task{rec.task}, f.queue...)
+			}
+			f.event(monWorkerDead, w, rec.task.Round, fmt.Sprintf("task=%d timed out", rec.task.ID))
+		}
+	}
+}
+
+// event emits a monitor record when a monitor rank exists.
+func (f *foreman) event(kind byte, worker int, round uint64, info string) {
+	if f.lay.Monitor < 0 {
+		return
+	}
+	_ = f.c.Send(f.lay.Monitor, comm.TagEvent, marshalMonitorEvent(MonitorEvent{
+		Kind:   kind,
+		Worker: int32(worker),
+		Round:  round,
+		Info:   info,
+		At:     time.Now().UnixNano(),
+	}))
+}

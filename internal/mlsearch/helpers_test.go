@@ -1,0 +1,21 @@
+package mlsearch
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+)
+
+func newTestWorld(t *testing.T, size int) []comm.Communicator {
+	t.Helper()
+	world, err := comm.NewLocal(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, c := range world {
+			c.Close()
+		}
+	})
+	return world
+}

@@ -1,0 +1,140 @@
+package mlsearch
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// The monitor (paper §2.2): "an optional process that provides
+// instrumentation for the program". It receives event records from the
+// foreman and aggregates dispatch counts, per-worker utilization, fault
+// tolerance activity, and round timings.
+
+// Monitor event kinds.
+const (
+	monRoundStart byte = 1 + iota
+	monDispatch
+	monResult
+	monWorkerDead
+	monWorkerRevived
+	monRoundDone
+)
+
+// MonitorEvent is one instrumentation record.
+type MonitorEvent struct {
+	// Kind is one of the mon* constants.
+	Kind byte
+	// Worker is the worker rank the event concerns (0 when N/A).
+	Worker int32
+	// Round is the round the event belongs to.
+	Round uint64
+	// Info is a free-form detail string.
+	Info string
+	// At is the event time in Unix nanoseconds.
+	At int64
+}
+
+func marshalMonitorEvent(e MonitorEvent) []byte {
+	var w wireWriter
+	w.buf = append(w.buf, e.Kind)
+	w.i32(e.Worker)
+	w.u64(e.Round)
+	w.str(e.Info)
+	w.u64(uint64(e.At))
+	return w.buf
+}
+
+func unmarshalMonitorEvent(b []byte) (MonitorEvent, error) {
+	if len(b) == 0 {
+		return MonitorEvent{}, fmt.Errorf("mlsearch: empty monitor event")
+	}
+	r := wireReader{buf: b[1:]}
+	e := MonitorEvent{
+		Kind:   b[0],
+		Worker: r.i32("event worker"),
+		Round:  r.u64("event round"),
+		Info:   r.str("event info"),
+	}
+	e.At = int64(r.u64("event time"))
+	return e, r.done("monitor event")
+}
+
+// MonitorStats aggregates a run's instrumentation.
+type MonitorStats struct {
+	// Rounds is the number of completed rounds.
+	Rounds int
+	// Dispatches counts task sends to workers.
+	Dispatches int
+	// Results counts results received from workers.
+	Results int
+	// TasksPerWorker counts results per worker rank.
+	TasksPerWorker map[int]int
+	// Deaths counts fault tolerance removals per worker rank.
+	Deaths map[int]int
+	// Revivals counts delinquent workers welcomed back per rank.
+	Revivals map[int]int
+	// Events retains the full event log.
+	Events []MonitorEvent
+}
+
+// RunMonitor executes the monitor role until shutdown, writing a line per
+// round to w (nil discards output) and returning the aggregate
+// statistics.
+func RunMonitor(c comm.Communicator, w io.Writer, verbose bool) (*MonitorStats, error) {
+	stats := &MonitorStats{
+		TasksPerWorker: map[int]int{},
+		Deaths:         map[int]int{},
+		Revivals:       map[int]int{},
+	}
+	logf := func(format string, args ...interface{}) {
+		if w != nil {
+			fmt.Fprintf(w, format, args...)
+		}
+	}
+	var roundStart time.Time
+	for {
+		msg, err := c.Recv(comm.AnySource, comm.AnyTag)
+		if err != nil {
+			return stats, fmt.Errorf("mlsearch: monitor receive: %w", err)
+		}
+		if msg.Tag == comm.TagShutdown {
+			logf("monitor: shutdown after %d rounds, %d results\n", stats.Rounds, stats.Results)
+			return stats, nil
+		}
+		if msg.Tag != comm.TagEvent {
+			continue
+		}
+		e, err := unmarshalMonitorEvent(msg.Data)
+		if err != nil {
+			return stats, err
+		}
+		stats.Events = append(stats.Events, e)
+		switch e.Kind {
+		case monRoundStart:
+			roundStart = time.Unix(0, e.At)
+			if verbose {
+				logf("monitor: round %d start (%s)\n", e.Round, e.Info)
+			}
+		case monDispatch:
+			stats.Dispatches++
+		case monResult:
+			stats.Results++
+			stats.TasksPerWorker[int(e.Worker)]++
+		case monWorkerDead:
+			stats.Deaths[int(e.Worker)]++
+			logf("monitor: worker %d removed (%s)\n", e.Worker, e.Info)
+		case monWorkerRevived:
+			stats.Revivals[int(e.Worker)]++
+			logf("monitor: worker %d reinstated\n", e.Worker)
+		case monRoundDone:
+			stats.Rounds++
+			if verbose {
+				elapsed := time.Unix(0, e.At).Sub(roundStart)
+				logf("monitor: round %d done in %v (%s)\n", e.Round, elapsed, e.Info)
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package mlsearch
+
+import (
+	"fmt"
+)
+
+// Control protocol between master, foreman, and monitor. The master sends
+// a round's full task list to the foreman in one batch (the paper notes
+// both fastDNAml and Ceron's code improve efficiency "by calculating in
+// advance the list of trees to be dispatched to workers", §3.2); the
+// foreman answers with every task's statistics plus the best tree.
+
+// Layout assigns roles to ranks. The paper's parallel program has three
+// core processes — master, foreman, and the optional monitor — plus a
+// variable number of workers (§2.2).
+type Layout struct {
+	// Master generates and compares trees.
+	Master int
+	// Foreman dispatches trees to workers.
+	Foreman int
+	// Monitor receives instrumentation events; -1 disables it.
+	Monitor int
+	// Workers optimize trees.
+	Workers []int
+}
+
+// DefaultLayout maps a world of the given size onto the paper's layout:
+// rank 0 master, rank 1 foreman, rank 2 monitor (when enabled), the rest
+// workers. The fully instrumented program needs at least four processes
+// (paper §2.2); without the monitor, three.
+func DefaultLayout(size int, withMonitor bool) (Layout, error) {
+	lay := Layout{Master: 0, Foreman: 1, Monitor: -1}
+	firstWorker := 2
+	if withMonitor {
+		lay.Monitor = 2
+		firstWorker = 3
+	}
+	if size < firstWorker+1 {
+		return Layout{}, fmt.Errorf("mlsearch: world size %d too small (need %d + >=1 worker)", size, firstWorker)
+	}
+	for r := firstWorker; r < size; r++ {
+		lay.Workers = append(lay.Workers, r)
+	}
+	return lay, nil
+}
+
+// Validate checks the layout for overlaps and missing workers.
+func (l Layout) Validate() error {
+	seen := map[int]string{}
+	claim := func(rank int, role string) error {
+		if rank < 0 {
+			return fmt.Errorf("mlsearch: negative rank for %s", role)
+		}
+		if prev, ok := seen[rank]; ok {
+			return fmt.Errorf("mlsearch: rank %d assigned to both %s and %s", rank, prev, role)
+		}
+		seen[rank] = role
+		return nil
+	}
+	if err := claim(l.Master, "master"); err != nil {
+		return err
+	}
+	if err := claim(l.Foreman, "foreman"); err != nil {
+		return err
+	}
+	if l.Monitor >= 0 {
+		if err := claim(l.Monitor, "monitor"); err != nil {
+			return err
+		}
+	}
+	if len(l.Workers) == 0 {
+		return fmt.Errorf("mlsearch: layout has no workers")
+	}
+	for _, w := range l.Workers {
+		if err := claim(w, "worker"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// control message kinds.
+const (
+	ctlRoundBatch byte = 1 + iota
+	ctlRoundReply
+)
+
+// roundBatch is the master -> foreman message starting a round.
+type roundBatch struct {
+	Round uint64
+	Tasks []Task
+}
+
+// roundReply is the foreman -> master answer: per-task statistics
+// (Newick stripped to save bandwidth) and the best task's full result.
+type roundReply struct {
+	Round uint64
+	Best  Result
+	Stats []Result
+}
+
+func marshalRoundBatch(b roundBatch) []byte {
+	var w wireWriter
+	w.buf = append(w.buf, ctlRoundBatch)
+	w.u64(b.Round)
+	w.i32(int32(len(b.Tasks)))
+	for _, t := range b.Tasks {
+		inner := MarshalTask(t)
+		w.i32(int32(len(inner)))
+		w.buf = append(w.buf, inner...)
+	}
+	return w.buf
+}
+
+func unmarshalRoundBatch(data []byte) (roundBatch, error) {
+	if len(data) == 0 || data[0] != ctlRoundBatch {
+		return roundBatch{}, fmt.Errorf("mlsearch: not a round batch")
+	}
+	r := wireReader{buf: data[1:]}
+	out := roundBatch{Round: r.u64("round")}
+	n := r.i32("task count")
+	for i := int32(0); i < n && r.err == nil; i++ {
+		ln := r.i32("task length")
+		if r.err != nil {
+			break
+		}
+		if ln < 0 || r.off+int(ln) > len(r.buf) {
+			r.fail("task body")
+			break
+		}
+		t, err := UnmarshalTask(r.buf[r.off : r.off+int(ln)])
+		if err != nil {
+			return roundBatch{}, err
+		}
+		r.off += int(ln)
+		out.Tasks = append(out.Tasks, t)
+	}
+	return out, r.done("round batch")
+}
+
+func marshalRoundReply(rr roundReply) []byte {
+	var w wireWriter
+	w.buf = append(w.buf, ctlRoundReply)
+	w.u64(rr.Round)
+	best := MarshalResult(rr.Best)
+	w.i32(int32(len(best)))
+	w.buf = append(w.buf, best...)
+	w.i32(int32(len(rr.Stats)))
+	for _, res := range rr.Stats {
+		inner := MarshalResult(res)
+		w.i32(int32(len(inner)))
+		w.buf = append(w.buf, inner...)
+	}
+	return w.buf
+}
+
+func unmarshalRoundReply(data []byte) (roundReply, error) {
+	if len(data) == 0 || data[0] != ctlRoundReply {
+		return roundReply{}, fmt.Errorf("mlsearch: not a round reply")
+	}
+	r := wireReader{buf: data[1:]}
+	out := roundReply{Round: r.u64("round")}
+	bl := r.i32("best length")
+	if r.err == nil && (bl < 0 || r.off+int(bl) > len(r.buf)) {
+		r.fail("best body")
+	}
+	if r.err == nil {
+		best, err := UnmarshalResult(r.buf[r.off : r.off+int(bl)])
+		if err != nil {
+			return roundReply{}, err
+		}
+		out.Best = best
+		r.off += int(bl)
+	}
+	n := r.i32("stat count")
+	for i := int32(0); i < n && r.err == nil; i++ {
+		ln := r.i32("stat length")
+		if r.err != nil {
+			break
+		}
+		if ln < 0 || r.off+int(ln) > len(r.buf) {
+			r.fail("stat body")
+			break
+		}
+		res, err := UnmarshalResult(r.buf[r.off : r.off+int(ln)])
+		if err != nil {
+			return roundReply{}, err
+		}
+		r.off += int(ln)
+		out.Stats = append(out.Stats, res)
+	}
+	return out, r.done("round reply")
+}

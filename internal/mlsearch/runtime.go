@@ -1,0 +1,129 @@
+package mlsearch
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/comm"
+)
+
+// Local parallel runtime: all four roles run as goroutines connected by
+// the in-process comm backend. This is how a single multi-core machine
+// runs the parallel program, and how the integration tests drive the full
+// master/foreman/worker/monitor protocol.
+
+// LocalRunOptions configure RunLocalParallel.
+type LocalRunOptions struct {
+	// Workers is the number of worker processes (>= 1).
+	Workers int
+	// WithMonitor adds the monitor process (paper: the fully
+	// instrumented version needs master+foreman+monitor+1 worker = 4).
+	WithMonitor bool
+	// Jumbles is the number of random orderings to run (>= 1).
+	Jumbles int
+	// Foreman tunes dispatch fault tolerance.
+	Foreman ForemanOptions
+	// MonitorOut receives monitor output lines (nil discards).
+	MonitorOut io.Writer
+	// WorkerHooks, when non-nil, is applied to workers by rank for
+	// fault injection tests.
+	WorkerHooks map[int]WorkerHooks
+	// Progress receives per-round events (jumble index, event).
+	Progress func(int, ProgressEvent)
+}
+
+// LocalRunOutcome is the result of a local parallel run.
+type LocalRunOutcome struct {
+	// Results holds one SearchResult per jumble.
+	Results []*SearchResult
+	// Monitor holds the monitor statistics when the monitor ran.
+	Monitor *MonitorStats
+}
+
+// RunLocalParallel runs the full parallel program in-process and returns
+// every jumble's result. The world size is workers + 2 (or +3 with the
+// monitor), mirroring the paper's processor accounting where "the
+// dedication of three processors to control and monitoring tasks keeps
+// the scalability well below perfect" (§3.2).
+func RunLocalParallel(cfg Config, opt LocalRunOptions) (*LocalRunOutcome, error) {
+	if opt.Workers < 1 {
+		return nil, fmt.Errorf("mlsearch: %d workers, need >= 1", opt.Workers)
+	}
+	if opt.Jumbles < 1 {
+		opt.Jumbles = 1
+	}
+	norm, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	size := opt.Workers + 2
+	if opt.WithMonitor {
+		size++
+	}
+	world, err := comm.NewLocal(size)
+	if err != nil {
+		return nil, err
+	}
+	lay, err := DefaultLayout(size, opt.WithMonitor)
+	if err != nil {
+		return nil, err
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, size)
+
+	// Foreman.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := RunForeman(world[lay.Foreman], lay, opt.Foreman); err != nil {
+			errs <- fmt.Errorf("foreman: %w", err)
+		}
+	}()
+
+	// Monitor.
+	outcome := &LocalRunOutcome{}
+	if opt.WithMonitor {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats, err := RunMonitor(world[lay.Monitor], opt.MonitorOut, false)
+			if err != nil {
+				errs <- fmt.Errorf("monitor: %w", err)
+				return
+			}
+			outcome.Monitor = stats
+		}()
+	}
+
+	// Workers.
+	for _, w := range lay.Workers {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			hooks := WorkerHooks{}
+			if opt.WorkerHooks != nil {
+				hooks = opt.WorkerHooks[rank]
+			}
+			if err := RunWorker(world[rank], lay, norm.Model, norm.Patterns, norm.Taxa, hooks); err != nil {
+				errs <- fmt.Errorf("worker %d: %w", rank, err)
+			}
+		}(w)
+	}
+
+	// Master (this goroutine).
+	results, masterErr := RunMaster(world[lay.Master], lay, norm, opt.Jumbles, opt.Progress)
+	wg.Wait()
+	close(errs)
+	if masterErr != nil {
+		return nil, masterErr
+	}
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	outcome.Results = results
+	return outcome, nil
+}

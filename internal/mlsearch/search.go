@@ -1,0 +1,380 @@
+package mlsearch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tree"
+)
+
+// Dispatcher evaluates a batch of tasks and returns their results in any
+// order. The serial dispatcher runs them in-process; the parallel
+// dispatcher routes them through the foreman to the workers (paper Fig 2:
+// "the trees to be evaluated are distributed to the available workers").
+type Dispatcher interface {
+	Dispatch(tasks []Task) ([]Result, error)
+}
+
+// RoundKind labels what a dispatch round was for.
+type RoundKind int
+
+// Round kinds, in the order they appear during a search.
+const (
+	// RoundInit optimizes the initial 3-taxon tree (step 2).
+	RoundInit RoundKind = iota
+	// RoundAdd scores the 2i-5 insertion points of a new taxon (step 3).
+	RoundAdd
+	// RoundSmooth fully optimizes a round's best tree.
+	RoundSmooth
+	// RoundRearrange scores local rearrangement candidates (step 4).
+	RoundRearrange
+	// RoundFinal scores the final rearrangement candidates (step 5).
+	RoundFinal
+)
+
+// String names the round kind.
+func (k RoundKind) String() string {
+	switch k {
+	case RoundInit:
+		return "init"
+	case RoundAdd:
+		return "add"
+	case RoundSmooth:
+		return "smooth"
+	case RoundRearrange:
+		return "rearrange"
+	case RoundFinal:
+		return "final"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// TaskStat records what one task cost, for the cluster simulator.
+type TaskStat struct {
+	// Ops is the likelihood work the task consumed.
+	Ops uint64
+	// LnL is the task's resulting log-likelihood.
+	LnL float64
+}
+
+// RoundStats records one dispatch round.
+type RoundStats struct {
+	// Kind is what the round did.
+	Kind RoundKind
+	// TaxaInTree is the number of taxa in the tree during the round.
+	TaxaInTree int
+	// Tasks holds per-task costs, in task order.
+	Tasks []TaskStat
+	// GenBytes is the total size of the candidate topologies the master
+	// serialized for this round (a proxy for the master's serial work).
+	GenBytes uint64
+	// BestLnL is the best log-likelihood seen by the end of the round.
+	BestLnL float64
+}
+
+// SearchResult is the outcome of one random ordering (one jumble).
+type SearchResult struct {
+	// BestNewick is the final tree with branch lengths.
+	BestNewick string
+	// LnL is the final log-likelihood.
+	LnL float64
+	// Order is the taxon insertion order used.
+	Order []int
+	// Rounds is the per-round log consumed by the cluster simulator
+	// (nil when Config.DisableRoundLog).
+	Rounds []RoundStats
+	// TotalTasks counts every dispatched task.
+	TotalTasks int
+	// TotalOps sums the work units over all tasks.
+	TotalOps uint64
+}
+
+// ProgressEvent notifies observers after each completed round; the
+// real-time tree viewer (paper §4) consumes the stream of best trees.
+type ProgressEvent struct {
+	Kind       RoundKind
+	TaxaInTree int
+	BestLnL    float64
+	BestNewick string
+}
+
+// Search runs the fastDNAml algorithm against a Dispatcher.
+type Search struct {
+	cfg  Config
+	disp Dispatcher
+
+	// Progress, when non-nil, receives an event after every round.
+	Progress func(ProgressEvent)
+
+	// OnCheckpoint, when non-nil, receives a resumable Checkpoint after
+	// every completed taxon addition and at the end of the search (the
+	// restart-file mechanism of long fastDNAml runs).
+	OnCheckpoint func(Checkpoint)
+
+	nextTask  uint64
+	nextRound uint64
+	rounds    []RoundStats
+	total     int
+	totalOps  uint64
+}
+
+// NewSearch builds a search over a normalized configuration.
+func NewSearch(cfg Config, disp Dispatcher) (*Search, error) {
+	norm, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if disp == nil {
+		return nil, fmt.Errorf("mlsearch: nil dispatcher")
+	}
+	return &Search{cfg: norm, disp: disp}, nil
+}
+
+// Config returns the normalized configuration.
+func (s *Search) Config() Config { return s.cfg }
+
+// Run executes the full search: random order, initial triple, stepwise
+// addition with local rearrangements, and the final rearrangement pass.
+func (s *Search) Run() (*SearchResult, error) {
+	order := TaxonOrder(len(s.cfg.Taxa), s.cfg.Seed)
+
+	// Step 2: the unique 3-taxon tree, fully optimized.
+	tr, err := tree.Triple(s.cfg.Taxa, order[0], order[1], order[2])
+	if err != nil {
+		return nil, err
+	}
+	cur, lnL, err := s.smoothRound(RoundInit, tr, 3)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(order, cur, lnL, 3, false)
+}
+
+// run continues a search from "taxa order[:startIdx] are in tr". With
+// finalOnly, only step 5 remains.
+func (s *Search) run(order []int, tr *tree.Tree, lnL float64, startIdx int, finalOnly bool) (*SearchResult, error) {
+	var err error
+	extent := s.cfg.RearrangeExtent
+	maxExtent := s.cfg.RearrangeExtent
+	if s.cfg.FinalExtent > maxExtent {
+		maxExtent = s.cfg.FinalExtent
+	}
+	if !finalOnly {
+		// Step 3 + 4: add each remaining taxon, then locally rearrange.
+		for i := startIdx; i < len(order); i++ {
+			taxon := order[i]
+			tr, lnL, err = s.addTaxon(tr, taxon, i+1)
+			if err != nil {
+				return nil, err
+			}
+			if extent > 0 && i+1 < len(order) {
+				var improved int
+				tr, lnL, improved, err = s.rearrangeToConvergence(RoundRearrange, tr, lnL, extent, i+1)
+				if err != nil {
+					return nil, err
+				}
+				if s.cfg.AdaptiveExtent {
+					if improved > 0 && extent < maxExtent {
+						extent++
+					} else if improved == 0 && extent > 1 {
+						extent--
+					}
+				}
+			}
+			phase := PhaseAdding
+			if i+1 == len(order) {
+				phase = PhaseFinal
+			}
+			s.checkpoint(order, i+1, phase, tr, lnL)
+		}
+	}
+
+	// Step 5: final, possibly more extensive, rearrangement.
+	if s.cfg.FinalExtent > 0 {
+		tr, lnL, _, err = s.rearrangeToConvergence(RoundFinal, tr, lnL, s.cfg.FinalExtent, len(order))
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.checkpoint(order, len(order), PhaseDone, tr, lnL)
+
+	res := &SearchResult{
+		BestNewick: tr.Newick(),
+		LnL:        lnL,
+		Order:      order,
+		TotalTasks: s.total,
+		TotalOps:   s.totalOps,
+	}
+	if !s.cfg.DisableRoundLog {
+		res.Rounds = s.rounds
+	}
+	return res, nil
+}
+
+// checkpoint emits a resumable position to the observer.
+func (s *Search) checkpoint(order []int, nextIdx int, phase string, tr *tree.Tree, lnL float64) {
+	if s.OnCheckpoint == nil {
+		return
+	}
+	s.OnCheckpoint(Checkpoint{
+		Seed:      s.cfg.Seed,
+		Jumble:    s.cfg.Jumble,
+		Order:     append([]int(nil), order...),
+		NextIndex: nextIdx,
+		Phase:     phase,
+		Newick:    tr.Newick(),
+		LnL:       lnL,
+	})
+}
+
+// dispatchRound sends tasks, collects results, records statistics, and
+// returns the results sorted by task ID (so ties resolve
+// deterministically regardless of worker arrival order).
+func (s *Search) dispatchRound(kind RoundKind, taxaInTree int, tasks []Task, genBytes uint64) ([]Result, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("mlsearch: empty %s round", kind)
+	}
+	results, err := s.disp.Dispatch(tasks)
+	if err != nil {
+		return nil, fmt.Errorf("mlsearch: %s round: %w", kind, err)
+	}
+	if len(results) != len(tasks) {
+		return nil, fmt.Errorf("mlsearch: %s round returned %d results for %d tasks", kind, len(results), len(tasks))
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].TaskID < results[j].TaskID })
+
+	stats := RoundStats{Kind: kind, TaxaInTree: taxaInTree, GenBytes: genBytes}
+	best := results[0]
+	for _, r := range results {
+		stats.Tasks = append(stats.Tasks, TaskStat{Ops: r.Ops, LnL: r.LnL})
+		s.totalOps += r.Ops
+		if r.LnL > best.LnL {
+			best = r
+		}
+	}
+	stats.BestLnL = best.LnL
+	s.total += len(tasks)
+	if !s.cfg.DisableRoundLog {
+		s.rounds = append(s.rounds, stats)
+	}
+	return results, nil
+}
+
+// newTask allocates task identity.
+func (s *Search) newTask(newick string, localTaxon int, passes int) Task {
+	s.nextTask++
+	return Task{
+		ID:         s.nextTask,
+		Round:      s.nextRound,
+		Newick:     newick,
+		LocalTaxon: int32(localTaxon),
+		Passes:     int32(passes),
+	}
+}
+
+// bestOf picks the highest-likelihood result, lowest task ID on ties.
+func bestOf(results []Result) Result {
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.LnL > best.LnL {
+			best = r
+		}
+	}
+	return best
+}
+
+// smoothRound dispatches one full-smoothing task for tr and parses the
+// optimized tree back.
+func (s *Search) smoothRound(kind RoundKind, tr *tree.Tree, taxaInTree int) (*tree.Tree, float64, error) {
+	s.nextRound++
+	nwk := tr.Newick()
+	task := s.newTask(nwk, -1, s.cfg.FullSmoothPasses)
+	results, err := s.dispatchRound(kind, taxaInTree, []Task{task}, uint64(len(nwk)))
+	if err != nil {
+		return nil, 0, err
+	}
+	out, err := tree.ParseNewick(results[0].Newick, s.cfg.Taxa)
+	if err != nil {
+		return nil, 0, err
+	}
+	// A smooth round always adopts its tree: notify observers. The
+	// real-time viewer of §4 monitors exactly this stream of best trees.
+	if s.Progress != nil {
+		s.Progress(ProgressEvent{Kind: kind, TaxaInTree: taxaInTree, BestLnL: results[0].LnL, BestNewick: results[0].Newick})
+	}
+	return out, results[0].LnL, nil
+}
+
+// addTaxon performs step 3: dispatch one task per insertion edge, adopt
+// the best, then fully smooth it.
+func (s *Search) addTaxon(tr *tree.Tree, taxon, taxaAfter int) (*tree.Tree, float64, error) {
+	s.nextRound++
+	edges := tr.InsertionEdges()
+	tasks := make([]Task, 0, len(edges))
+	var genBytes uint64
+	for _, e := range edges {
+		cand := tr.Clone()
+		ca, cb := cand.Nodes[e.A.ID], cand.Nodes[e.B.ID]
+		if _, err := cand.InsertLeaf(taxon, tree.Edge{A: ca, B: cb}); err != nil {
+			return nil, 0, err
+		}
+		nwk := cand.Newick()
+		genBytes += uint64(len(nwk))
+		tasks = append(tasks, s.newTask(nwk, taxon, s.cfg.QuickInsertPasses))
+	}
+	results, err := s.dispatchRound(RoundAdd, taxaAfter, tasks, genBytes)
+	if err != nil {
+		return nil, 0, err
+	}
+	best := bestOf(results)
+	bestTree, err := tree.ParseNewick(best.Newick, s.cfg.Taxa)
+	if err != nil {
+		return nil, 0, err
+	}
+	// The rapid insertion estimate is refined by full smoothing (§2.1).
+	return s.smoothRound(RoundSmooth, bestTree, taxaAfter)
+}
+
+// rearrangeToConvergence performs steps 4/5: dispatch every distinct
+// rearrangement within extent, adopt the best if it improves, and repeat
+// until no improvement (paper: "This process continues until the
+// rearrangements no longer result in improvement"). It reports how many
+// rounds improved the tree (the adaptive-extent signal).
+func (s *Search) rearrangeToConvergence(kind RoundKind, tr *tree.Tree, lnL float64, extent, taxaInTree int) (*tree.Tree, float64, int, error) {
+	improved := 0
+	for round := 0; round < s.cfg.MaxRearrangeRounds; round++ {
+		s.nextRound++
+		var tasks []Task
+		var genBytes uint64
+		_, err := tr.Rearrangements(extent, func(view *tree.Tree, cand tree.RearrangeCandidate) bool {
+			nwk := view.Newick()
+			genBytes += uint64(len(nwk))
+			tasks = append(tasks, s.newTask(nwk, -1, s.cfg.QuickInsertPasses))
+			return true
+		})
+		if err != nil {
+			return nil, 0, improved, err
+		}
+		if len(tasks) == 0 {
+			return tr, lnL, improved, nil
+		}
+		results, err := s.dispatchRound(kind, taxaInTree, tasks, genBytes)
+		if err != nil {
+			return nil, 0, improved, err
+		}
+		best := bestOf(results)
+		if best.LnL <= lnL+s.cfg.Epsilon {
+			return tr, lnL, improved, nil
+		}
+		improved++
+		bestTree, err := tree.ParseNewick(best.Newick, s.cfg.Taxa)
+		if err != nil {
+			return nil, 0, improved, err
+		}
+		tr, lnL, err = s.smoothRound(RoundSmooth, bestTree, taxaInTree)
+		if err != nil {
+			return nil, 0, improved, err
+		}
+	}
+	return tr, lnL, improved, nil
+}

@@ -1,0 +1,197 @@
+// Package mlsearch implements fastDNAml's maximum likelihood tree search
+// (paper §2, steps 1-5) in both serial and parallel form. The parallel
+// form reproduces the paper's four-module architecture (Fig 2): a master
+// that generates and compares trees, a foreman that dispatches trees to
+// workers through a work queue and ready queue with fault tolerance, the
+// workers that optimize branch lengths and compute likelihoods, and an
+// optional monitor that collects instrumentation.
+package mlsearch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Task is one unit of worker work: a candidate tree topology whose branch
+// lengths must be optimized and whose likelihood must be returned (paper
+// §2: "Each new tree is dispatched to a worker process, which calculates
+// the branch lengths and the overall likelihood value").
+type Task struct {
+	// ID identifies the task within its round.
+	ID uint64
+	// Round is the round sequence number (monotone per search).
+	Round uint64
+	// Newick is the candidate tree with starting branch lengths.
+	Newick string
+	// LocalTaxon, when >= 0, asks the worker to optimize only the
+	// branches near this taxon's attachment point (the rapid insertion
+	// scoring of §2.1); -1 requests smoothing of all branches.
+	LocalTaxon int32
+	// Passes bounds the smoothing passes (0 uses the worker default).
+	Passes int32
+	// KeepTree asks the parallel runtime to return this task's
+	// optimized tree even when it is not the round's best (the foreman
+	// normally strips non-best trees to save bandwidth). User-tree
+	// evaluation sets it.
+	KeepTree bool
+}
+
+// Result is a worker's answer to one Task.
+type Result struct {
+	// TaskID echoes Task.ID.
+	TaskID uint64
+	// Round echoes Task.Round.
+	Round uint64
+	// Newick is the tree with optimized branch lengths.
+	Newick string
+	// LnL is the optimized log-likelihood.
+	LnL float64
+	// Ops is the number of likelihood work units the evaluation cost;
+	// the cluster simulator's cost model consumes it.
+	Ops uint64
+	// Worker is the responding worker's rank (filled by the foreman).
+	Worker int32
+}
+
+// --- binary wire codec -------------------------------------------------
+//
+// Messages travel as length-delimited fields in big-endian order. The
+// codec is hand-rolled (no reflection) so the wire format is explicit,
+// stable, and cheap; the paper's processes exchange ASCII trees plus a
+// few scalars, and this mirrors that.
+
+type wireWriter struct{ buf []byte }
+
+func (w *wireWriter) u64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+
+func (w *wireWriter) i32(v int32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(v))
+	w.buf = append(w.buf, b[:]...)
+}
+
+func (w *wireWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *wireWriter) str(s string) {
+	w.i32(int32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+type wireReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("mlsearch: truncated message reading %s at offset %d", what, r.off)
+	}
+}
+
+func (r *wireReader) u64(what string) uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *wireReader) i32(what string) int32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail(what)
+		return 0
+	}
+	v := int32(binary.BigEndian.Uint32(r.buf[r.off:]))
+	r.off += 4
+	return v
+}
+
+func (r *wireReader) f64(what string) float64 { return math.Float64frombits(r.u64(what)) }
+
+func (r *wireReader) str(what string) string {
+	n := r.i32(what)
+	if r.err != nil {
+		return ""
+	}
+	if n < 0 || r.off+int(n) > len(r.buf) {
+		r.fail(what)
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *wireReader) done(what string) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("mlsearch: %d trailing bytes decoding %s", len(r.buf)-r.off, what)
+	}
+	return nil
+}
+
+// MarshalTask encodes a Task for the wire.
+func MarshalTask(t Task) []byte {
+	var w wireWriter
+	w.u64(t.ID)
+	w.u64(t.Round)
+	w.str(t.Newick)
+	w.i32(t.LocalTaxon)
+	w.i32(t.Passes)
+	keep := int32(0)
+	if t.KeepTree {
+		keep = 1
+	}
+	w.i32(keep)
+	return w.buf
+}
+
+// UnmarshalTask decodes a Task.
+func UnmarshalTask(b []byte) (Task, error) {
+	r := wireReader{buf: b}
+	t := Task{
+		ID:         r.u64("task id"),
+		Round:      r.u64("task round"),
+		Newick:     r.str("task newick"),
+		LocalTaxon: r.i32("task local taxon"),
+		Passes:     r.i32("task passes"),
+	}
+	t.KeepTree = r.i32("task keep tree") != 0
+	return t, r.done("task")
+}
+
+// MarshalResult encodes a Result for the wire.
+func MarshalResult(res Result) []byte {
+	var w wireWriter
+	w.u64(res.TaskID)
+	w.u64(res.Round)
+	w.str(res.Newick)
+	w.f64(res.LnL)
+	w.u64(res.Ops)
+	w.i32(res.Worker)
+	return w.buf
+}
+
+// UnmarshalResult decodes a Result.
+func UnmarshalResult(b []byte) (Result, error) {
+	r := wireReader{buf: b}
+	res := Result{
+		TaskID: r.u64("result task id"),
+		Round:  r.u64("result round"),
+		Newick: r.str("result newick"),
+		LnL:    r.f64("result lnl"),
+		Ops:    r.u64("result ops"),
+		Worker: r.i32("result worker"),
+	}
+	return res, r.done("result")
+}

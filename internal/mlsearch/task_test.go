@@ -1,0 +1,194 @@
+package mlsearch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTaskCodecRoundTrip(t *testing.T) {
+	f := func(id, round uint64, newick string, localTaxon, passes int32) bool {
+		in := Task{ID: id, Round: round, Newick: newick, LocalTaxon: localTaxon, Passes: passes}
+		out, err := UnmarshalTask(MarshalTask(in))
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	f := func(id, round uint64, newick string, lnl float64, ops uint64, worker int32) bool {
+		if math.IsNaN(lnl) {
+			lnl = -1234.5
+		}
+		in := Result{TaskID: id, Round: round, Newick: newick, LnL: lnl, Ops: ops, Worker: worker}
+		out, err := UnmarshalResult(MarshalResult(in))
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTaskCodecRejectsTruncation(t *testing.T) {
+	b := MarshalTask(Task{ID: 7, Newick: "(a,b,c);"})
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := UnmarshalTask(b[:cut]); err == nil {
+			t.Errorf("truncation at %d bytes accepted", cut)
+		}
+	}
+	// Trailing garbage must also be rejected.
+	if _, err := UnmarshalTask(append(b, 0xFF)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestRoundBatchCodec(t *testing.T) {
+	batch := roundBatch{
+		Round: 42,
+		Tasks: []Task{
+			{ID: 1, Round: 42, Newick: "(a,b,c);", LocalTaxon: -1, Passes: 2},
+			{ID: 2, Round: 42, Newick: "((a,b),c,d);", LocalTaxon: 3, Passes: 8},
+		},
+	}
+	out, err := unmarshalRoundBatch(marshalRoundBatch(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Round != batch.Round || len(out.Tasks) != 2 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	for i := range batch.Tasks {
+		if out.Tasks[i] != batch.Tasks[i] {
+			t.Errorf("task %d: %+v != %+v", i, out.Tasks[i], batch.Tasks[i])
+		}
+	}
+	if _, err := unmarshalRoundBatch([]byte{99}); err == nil {
+		t.Error("wrong kind byte accepted")
+	}
+}
+
+func TestRoundReplyCodec(t *testing.T) {
+	reply := roundReply{
+		Round: 9,
+		Best:  Result{TaskID: 3, Round: 9, Newick: "((a,b),c,d);", LnL: -100.25, Ops: 777, Worker: 4},
+		Stats: []Result{
+			{TaskID: 1, Round: 9, LnL: -120.5, Ops: 500, Worker: 3},
+			{TaskID: 3, Round: 9, LnL: -100.25, Ops: 777, Worker: 4},
+		},
+	}
+	out, err := unmarshalRoundReply(marshalRoundReply(reply))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Best != reply.Best || len(out.Stats) != 2 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	for i := range reply.Stats {
+		if out.Stats[i] != reply.Stats[i] {
+			t.Errorf("stat %d mismatch", i)
+		}
+	}
+}
+
+func TestMonitorEventCodec(t *testing.T) {
+	e := MonitorEvent{Kind: monWorkerDead, Worker: 5, Round: 11, Info: "task=19 timed out", At: 1234567890}
+	out, err := unmarshalMonitorEvent(marshalMonitorEvent(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != e {
+		t.Errorf("%+v != %+v", out, e)
+	}
+	if _, err := unmarshalMonitorEvent(nil); err == nil {
+		t.Error("empty event accepted")
+	}
+}
+
+func TestNormalizeSeed(t *testing.T) {
+	cases := map[int64]int64{
+		-5: 1, 0: 1, 1: 1, 2: 3, 3: 3, 100: 101, 101: 101,
+	}
+	for in, want := range cases {
+		if got := NormalizeSeed(in); got != want {
+			t.Errorf("NormalizeSeed(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestTaxonOrderDeterministic(t *testing.T) {
+	a := TaxonOrder(20, 7)
+	b := TaxonOrder(20, 7)
+	c := TaxonOrder(20, 9)
+	if len(a) != 20 {
+		t.Fatalf("order length %d", len(a))
+	}
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed gave different orders")
+	}
+	if !diff {
+		t.Error("different seeds gave identical orders (suspicious)")
+	}
+	// Must be a permutation.
+	seen := map[int]bool{}
+	for _, v := range a {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", a)
+		}
+		seen[v] = true
+	}
+	// Even seeds are adjusted to the next odd seed.
+	e := TaxonOrder(20, 6)
+	o := TaxonOrder(20, 7)
+	for i := range e {
+		if e[i] != o[i] {
+			t.Error("seed 6 should behave as seed 7")
+			break
+		}
+	}
+}
+
+func TestLayoutValidate(t *testing.T) {
+	good := Layout{Master: 0, Foreman: 1, Monitor: 2, Workers: []int{3, 4}}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Layout{
+		{Master: 0, Foreman: 0, Monitor: -1, Workers: []int{1}},
+		{Master: 0, Foreman: 1, Monitor: -1, Workers: nil},
+		{Master: 0, Foreman: 1, Monitor: 1, Workers: []int{2}},
+		{Master: 0, Foreman: 1, Monitor: -1, Workers: []int{1}},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("layout %d should fail: %+v", i, l)
+		}
+	}
+}
+
+func TestDefaultLayout(t *testing.T) {
+	lay, err := DefaultLayout(4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.Master != 0 || lay.Foreman != 1 || lay.Monitor != 2 || len(lay.Workers) != 1 {
+		t.Errorf("layout = %+v", lay)
+	}
+	if _, err := DefaultLayout(3, true); err == nil {
+		t.Error("size 3 with monitor should fail (paper: minimum 4)")
+	}
+	lay, err = DefaultLayout(3, false)
+	if err != nil || len(lay.Workers) != 1 {
+		t.Errorf("size 3 without monitor: %v %+v", err, lay)
+	}
+}

@@ -1,0 +1,161 @@
+package mlsearch
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/comm"
+)
+
+// Distributed (TCP) runtime. One operating system process hosts rank 0
+// (the TCP router and the master role) plus the foreman and optional
+// monitor as loopback-connected ranks; worker processes anywhere on the
+// network join with cmd/fdworker. The division of labour matches the
+// paper exactly — master, foreman, monitor, and a variable number of
+// workers (§2.2) — while the transport is this reproduction's custom
+// message-passing substrate (no MPI exists for Go).
+
+// TCPMasterOptions configure RunTCPMaster.
+type TCPMasterOptions struct {
+	// Addr is the listen address (e.g. ":7946" or "127.0.0.1:0").
+	Addr string
+	// Workers is the number of worker processes expected to join.
+	Workers int
+	// WithMonitor dedicates rank 2 to instrumentation.
+	WithMonitor bool
+	// Jumbles is the number of random orderings to run.
+	Jumbles int
+	// Foreman tunes fault tolerance.
+	Foreman ForemanOptions
+	// MonitorOut receives monitor output (nil discards).
+	MonitorOut io.Writer
+	// Bundle is the dataset shipped to joining workers.
+	Bundle DataBundle
+	// Progress receives per-round events.
+	Progress func(int, ProgressEvent)
+	// OnListen, when non-nil, is invoked with the bound address before
+	// waiting for workers (useful with ":0" and for tests).
+	OnListen func(net.Addr)
+}
+
+// WorkerRanks returns the rank interval workers must join with for a
+// world of the given options: [first, first+Workers).
+func (o TCPMasterOptions) WorkerRanks() (first, size int) {
+	first = 2
+	if o.WithMonitor {
+		first = 3
+	}
+	return first, first + o.Workers
+}
+
+// RunTCPMaster hosts the distributed run and returns each jumble's
+// result. It blocks until all expected workers join, runs the searches,
+// and shuts the world down.
+func RunTCPMaster(cfg Config, opt TCPMasterOptions) (*LocalRunOutcome, error) {
+	if opt.Workers < 1 {
+		return nil, fmt.Errorf("mlsearch: %d workers expected, need >= 1", opt.Workers)
+	}
+	if opt.Jumbles < 1 {
+		opt.Jumbles = 1
+	}
+	norm, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	_, size := opt.WorkerRanks()
+	lay, err := DefaultLayout(size, opt.WithMonitor)
+	if err != nil {
+		return nil, err
+	}
+
+	router, err := comm.NewTCPRouter(opt.Addr, size)
+	if err != nil {
+		return nil, err
+	}
+	defer router.Close()
+	addr, _ := comm.ListenAddr(router)
+	if opt.OnListen != nil && addr != nil {
+		opt.OnListen(addr)
+	}
+
+	// Loopback ranks for the foreman and monitor roles.
+	foremanComm, err := comm.DialTCP(addr.String(), lay.Foreman, size)
+	if err != nil {
+		return nil, fmt.Errorf("mlsearch: foreman loopback: %w", err)
+	}
+	defer foremanComm.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := RunForeman(foremanComm, lay, opt.Foreman); err != nil {
+			errs <- fmt.Errorf("foreman: %w", err)
+		}
+	}()
+
+	outcome := &LocalRunOutcome{}
+	if opt.WithMonitor {
+		monitorComm, err := comm.DialTCP(addr.String(), lay.Monitor, size)
+		if err != nil {
+			return nil, fmt.Errorf("mlsearch: monitor loopback: %w", err)
+		}
+		defer monitorComm.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats, err := RunMonitor(monitorComm, opt.MonitorOut, false)
+			if err != nil {
+				errs <- fmt.Errorf("monitor: %w", err)
+				return
+			}
+			outcome.Monitor = stats
+		}()
+	}
+
+	// Wait for every worker to join and ship the dataset.
+	if err := ServeBundles(router, opt.Bundle, opt.Workers); err != nil {
+		return nil, err
+	}
+
+	results, masterErr := RunMaster(router, lay, norm, opt.Jumbles, opt.Progress)
+	wg.Wait()
+	close(errs)
+	if masterErr != nil {
+		return nil, masterErr
+	}
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	outcome.Results = results
+	return outcome, nil
+}
+
+// RunTCPWorker joins a distributed run as one worker rank and serves
+// until shutdown.
+func RunTCPWorker(addr string, rank, size int, withMonitor bool, hooks WorkerHooks) error {
+	lay, err := DefaultLayout(size, withMonitor)
+	if err != nil {
+		return err
+	}
+	ok := false
+	for _, w := range lay.Workers {
+		if w == rank {
+			ok = true
+		}
+	}
+	if !ok {
+		return fmt.Errorf("mlsearch: rank %d is not a worker rank in a world of %d", rank, size)
+	}
+	c, err := comm.DialTCP(addr, rank, size)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return JoinAndServe(c, lay, hooks)
+}

@@ -1,0 +1,128 @@
+package mlsearch
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+// TestTCPRuntimeEndToEnd runs the full distributed program on loopback:
+// master+router, foreman, monitor, and two worker "processes" that join
+// via the bootstrap protocol, then compares against the serial answer.
+func TestTCPRuntimeEndToEnd(t *testing.T) {
+	ds, err := simulate.New(simulate.Options{Taxa: 7, Sites: 150, Seed: 31, MeanBranchLen: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phy bytes.Buffer
+	if err := seq.WritePhylip(&phy, ds.Alignment, 0); err != nil {
+		t.Fatal(err)
+	}
+	bundle := DataBundle{PhylipText: phy.Bytes(), TTRatio: 2.0}
+
+	// The workers must build the exact dataset the master searches on.
+	m, pat, taxa, err := bundle.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Taxa: taxa, Patterns: pat, Model: m, Seed: 7, RearrangeExtent: 1}
+	serial, err := RunSerial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 2
+	opt := TCPMasterOptions{
+		Addr:        "127.0.0.1:0",
+		Workers:     workers,
+		WithMonitor: true,
+		Bundle:      bundle,
+	}
+	firstWorker, size := opt.WorkerRanks()
+
+	addrCh := make(chan net.Addr, 1)
+	opt.OnListen = func(a net.Addr) { addrCh <- a }
+
+	var wg sync.WaitGroup
+	var outcome *LocalRunOutcome
+	var masterErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		outcome, masterErr = RunTCPMaster(cfg, opt)
+	}()
+
+	addr := (<-addrCh).String()
+	for r := firstWorker; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			if err := RunTCPWorker(addr, rank, size, true, WorkerHooks{}); err != nil {
+				t.Errorf("worker %d: %v", rank, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if masterErr != nil {
+		t.Fatal(masterErr)
+	}
+	res := outcome.Results[0]
+	if res.BestNewick != serial.BestNewick || res.LnL != serial.LnL {
+		t.Errorf("TCP run diverged from serial: %g vs %g", res.LnL, serial.LnL)
+	}
+	if outcome.Monitor == nil || outcome.Monitor.Results != res.TotalTasks {
+		t.Errorf("monitor stats inconsistent: %+v", outcome.Monitor)
+	}
+	if len(outcome.Monitor.TasksPerWorker) != workers {
+		t.Errorf("work spread over %d workers, want %d", len(outcome.Monitor.TasksPerWorker), workers)
+	}
+}
+
+func TestDataBundleCodec(t *testing.T) {
+	in := DataBundle{
+		PhylipText: []byte("2 4\na AAAA\nb CCCC\n"),
+		TTRatio:    2.5,
+		SiteRates:  []float64{1, 2, 0.5, 0.5},
+		Weights:    []float64{1, 1, 0, 2},
+	}
+	out, err := UnmarshalDataBundle(MarshalDataBundle(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out.PhylipText) != string(in.PhylipText) || out.TTRatio != in.TTRatio {
+		t.Errorf("bundle mismatch: %+v", out)
+	}
+	if len(out.SiteRates) != 4 || len(out.Weights) != 4 {
+		t.Errorf("slices lost: %+v", out)
+	}
+	if _, err := UnmarshalDataBundle([]byte{0x00}); err == nil {
+		t.Error("bad kind byte accepted")
+	}
+}
+
+func TestDataBundleBuild(t *testing.T) {
+	b := DataBundle{PhylipText: []byte("3 4\na ACGT\nb ACGA\nc CCGT\n")}
+	m, pat, taxa, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "F84" || pat.NumSeqs() != 3 || len(taxa) != 3 {
+		t.Errorf("build: %s %d %v", m.Name(), pat.NumSeqs(), taxa)
+	}
+	if _, _, _, err := (DataBundle{PhylipText: []byte("garbage")}).Build(); err == nil {
+		t.Error("garbage alignment accepted")
+	}
+}
+
+func TestRunTCPWorkerRankValidation(t *testing.T) {
+	if err := RunTCPWorker("127.0.0.1:1", 0, 4, true, WorkerHooks{}); err == nil {
+		t.Error("rank 0 accepted as worker")
+	}
+	if err := RunTCPWorker("127.0.0.1:1", 2, 4, true, WorkerHooks{}); err == nil {
+		t.Error("monitor rank accepted as worker")
+	}
+}

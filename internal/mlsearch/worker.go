@@ -1,0 +1,63 @@
+package mlsearch
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/likelihood"
+	"repro/internal/seq"
+
+	"repro/internal/model"
+)
+
+// The worker (paper §2.2): "worker processes that, in parallel, calculate
+// branch lengths for a tree topology and the likelihood value for the
+// tree. The worker processes communicate only with the foreman process."
+
+// WorkerHooks allow tests (and the fault injection example) to perturb a
+// worker's behaviour.
+type WorkerHooks struct {
+	// BeforeReply, when non-nil, runs after evaluation and before the
+	// result is sent. Returning false drops the reply (simulating a
+	// crashed or stalled worker); the foreman's timeout machinery must
+	// then recover.
+	BeforeReply func(task Task, result Result) bool
+}
+
+// RunWorker executes the worker loop: receive a task from the foreman,
+// evaluate it, send the result back, until a shutdown message arrives.
+func RunWorker(c comm.Communicator, lay Layout, m model.Model, pat *seq.Patterns, taxa []string, hooks WorkerHooks) error {
+	eng, err := likelihood.New(m, pat)
+	if err != nil {
+		return err
+	}
+	ev := NewEvaluator(eng, taxa)
+	for {
+		msg, err := c.Recv(comm.AnySource, comm.AnyTag)
+		if err != nil {
+			return fmt.Errorf("mlsearch: worker %d receive: %w", c.Rank(), err)
+		}
+		switch msg.Tag {
+		case comm.TagShutdown:
+			return nil
+		case comm.TagTask:
+			task, err := UnmarshalTask(msg.Data)
+			if err != nil {
+				return err
+			}
+			res, err := ev.Evaluate(task)
+			if err != nil {
+				return fmt.Errorf("mlsearch: worker %d: %w", c.Rank(), err)
+			}
+			res.Worker = int32(c.Rank())
+			if hooks.BeforeReply != nil && !hooks.BeforeReply(task, res) {
+				continue
+			}
+			if err := c.Send(lay.Foreman, comm.TagResult, MarshalResult(res)); err != nil {
+				return fmt.Errorf("mlsearch: worker %d send: %w", c.Rank(), err)
+			}
+		default:
+			return fmt.Errorf("mlsearch: worker %d got unexpected tag %d", c.Rank(), msg.Tag)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/seq"
+)
+
+func TestGTRValidates(t *testing.T) {
+	freqs := seq.BaseFreqs{0.3, 0.2, 0.25, 0.25}
+	m, err := NewGTR(freqs, GTRRates{AC: 1.2, AG: 3.5, AT: 0.8, CG: 1.1, CT: 4.2, GT: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "GTR" {
+		t.Errorf("name %s", m.Name())
+	}
+}
+
+// TestGTRValidatesQuick: random frequencies and exchangeabilities always
+// produce a valid rate-normalized reversible model.
+func TestGTRValidatesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		freqs := randomFreqs(rng)
+		r := GTRRates{
+			AC: 0.2 + 5*rng.Float64(), AG: 0.2 + 5*rng.Float64(), AT: 0.2 + 5*rng.Float64(),
+			CG: 0.2 + 5*rng.Float64(), CT: 0.2 + 5*rng.Float64(), GT: 0.2 + 5*rng.Float64(),
+		}
+		m, err := NewGTR(freqs, r)
+		if err != nil {
+			return false
+		}
+		return Validate(m) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGTRReducesToJC: unit exchangeabilities with uniform frequencies
+// give Jukes-Cantor probabilities.
+func TestGTRReducesToJC(t *testing.T) {
+	m, err := NewGTR(seq.Uniform(), GTRRates{AC: 1, AG: 1, AT: 1, CG: 1, CT: 1, GT: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc := NewJC69()
+	var pg, pj PMatrix
+	for _, z := range []float64{0.01, 0.1, 0.5, 2} {
+		m.Decomposition().Probs(z, 1, &pg)
+		jc.Decomposition().Probs(z, 1, &pj)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if math.Abs(pg[i][j]-pj[i][j]) > 1e-10 {
+					t.Errorf("z=%g (%d,%d): GTR %g vs JC %g", z, i, j, pg[i][j], pj[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestGTRMatchesHKY: GTR with HKY-pattern exchangeabilities (kappa on
+// transitions) equals HKY85.
+func TestGTRMatchesHKY(t *testing.T) {
+	freqs := seq.BaseFreqs{0.35, 0.15, 0.2, 0.3}
+	kappa := 3.7
+	gtr, err := NewGTR(freqs, GTRRates{AC: 1, AG: kappa, AT: 1, CG: 1, CT: kappa, GT: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hky, err := NewHKY85(freqs, kappa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pg, ph PMatrix
+	for _, z := range []float64{0.05, 0.3, 1.5} {
+		gtr.Decomposition().Probs(z, 1, &pg)
+		hky.Decomposition().Probs(z, 1, &ph)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if math.Abs(pg[i][j]-ph[i][j]) > 1e-9 {
+					t.Errorf("z=%g (%d,%d): GTR %g vs HKY %g", z, i, j, pg[i][j], ph[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestGTRChapmanKolmogorov(t *testing.T) {
+	freqs := seq.BaseFreqs{0.22, 0.28, 0.31, 0.19}
+	m, err := NewGTR(freqs, GTRRates{AC: 0.7, AG: 2.9, AT: 1.3, CG: 0.6, CT: 5.1, GT: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Decomposition()
+	var p1, p2, p3 PMatrix
+	d.Probs(0.11, 1, &p1)
+	d.Probs(0.29, 1, &p2)
+	d.Probs(0.40, 1, &p3)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			prod := 0.0
+			for k := 0; k < 4; k++ {
+				prod += p1[i][k] * p2[k][j]
+			}
+			if math.Abs(prod-p3[i][j]) > 1e-10 {
+				t.Errorf("CK violated at (%d,%d): %g vs %g", i, j, prod, p3[i][j])
+			}
+		}
+	}
+}
+
+func TestGTRErrors(t *testing.T) {
+	if _, err := NewGTR(seq.Uniform(), GTRRates{AC: 0, AG: 1, AT: 1, CG: 1, CT: 1, GT: 1}); err == nil {
+		t.Error("zero exchangeability accepted")
+	}
+	if _, err := NewGTR(seq.BaseFreqs{1, 1, 1, 1}, GTRRates{AC: 1, AG: 1, AT: 1, CG: 1, CT: 1, GT: 1}); err == nil {
+		t.Error("unnormalized frequencies accepted")
+	}
+}
+
+func TestJacobiEigenOrthogonal(t *testing.T) {
+	// Diagonalize a known symmetric matrix and verify A = V diag V^T.
+	a := [4][4]float64{
+		{2, -1, 0, 0.5},
+		{-1, 3, 0.25, 0},
+		{0, 0.25, 1, -0.75},
+		{0.5, 0, -0.75, 2.5},
+	}
+	orig := a
+	eig, v, err := jacobiEigen4(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			recon := 0.0
+			for k := 0; k < 4; k++ {
+				recon += v[i][k] * eig[k] * v[j][k]
+			}
+			if math.Abs(recon-orig[i][j]) > 1e-10 {
+				t.Errorf("reconstruction (%d,%d): %g vs %g", i, j, recon, orig[i][j])
+			}
+		}
+	}
+	// V orthogonal.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			dot := 0.0
+			for k := 0; k < 4; k++ {
+				dot += v[k][i] * v[k][j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-10 {
+				t.Errorf("V not orthogonal at (%d,%d): %g", i, j, dot)
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package model
+
+import "repro/internal/seq"
+
+// JC69 is the Jukes-Cantor 1969 model: uniform frequencies, all changes
+// equally likely. P_ij(z) = 1/4 + (δ_ij − 1/4)·exp(−4z/3).
+type JC69 struct {
+	decomp Decomposition
+}
+
+// NewJC69 builds a Jukes-Cantor model.
+func NewJC69() *JC69 {
+	var c0, c1 PMatrix
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			c0[i][j] = 0.25
+			c1[i][j] = -0.25
+			if i == j {
+				c1[i][j] = 0.75
+			}
+		}
+	}
+	return &JC69{decomp: Decomposition{
+		Lambda: []float64{0, -4.0 / 3.0},
+		Coef:   []PMatrix{c0, c1},
+	}}
+}
+
+// Name implements Model.
+func (m *JC69) Name() string { return "JC69" }
+
+// Freqs implements Model.
+func (m *JC69) Freqs() seq.BaseFreqs { return seq.Uniform() }
+
+// Decomposition implements Model.
+func (m *JC69) Decomposition() *Decomposition { return &m.decomp }

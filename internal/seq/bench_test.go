@@ -1,0 +1,52 @@
+package seq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func benchAlignment(b *testing.B, taxa, sites int) *Alignment {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	a := NewAlignment(taxa)
+	letters := "ACGT"
+	for i := 0; i < taxa; i++ {
+		var sb strings.Builder
+		for s := 0; s < sites; s++ {
+			sb.WriteByte(letters[rng.Intn(4)])
+		}
+		if err := a.Add(string(rune('A'+i%26))+string(rune('a'+i/26)), sb.String()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return a
+}
+
+// BenchmarkCompress measures site-pattern compression at rRNA scale.
+func BenchmarkCompress(b *testing.B) {
+	a := benchAlignment(b, 50, 1858)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(a, CompressOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadPhylip measures parsing a 50x1858 interleaved file.
+func BenchmarkReadPhylip(b *testing.B) {
+	a := benchAlignment(b, 50, 1858)
+	var sb strings.Builder
+	if err := WritePhylip(&sb, a, 0); err != nil {
+		b.Fatal(err)
+	}
+	text := sb.String()
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadPhylip(strings.NewReader(text)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package seq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Patterns is an alignment compressed to its distinct site patterns.
+// fastDNAml aliases identical alignment columns so the pruning algorithm
+// evaluates each distinct pattern once and weights its log-likelihood by
+// the pattern's multiplicity; this is the dominant constant-factor
+// optimization for rRNA-scale data.
+type Patterns struct {
+	// Codes holds the compressed sites: Codes[i][p] is the code of
+	// sequence i at pattern p.
+	Codes [][]Code
+	// Weights[p] is the total weight of the columns collapsed into
+	// pattern p (the sum of the user weights, or the column count when
+	// the weights are uniform).
+	Weights []float64
+	// SiteOf maps each original alignment column to its pattern index.
+	SiteOf []int
+	// Rates[p] is the relative evolutionary rate of pattern p
+	// (1.0 everywhere unless per-site rates or categories are supplied).
+	Rates []float64
+}
+
+// NumPatterns returns the number of distinct patterns.
+func (p *Patterns) NumPatterns() int { return len(p.Weights) }
+
+// NumSeqs returns the number of sequences.
+func (p *Patterns) NumSeqs() int { return len(p.Codes) }
+
+// TotalWeight returns the summed weight over all patterns.
+func (p *Patterns) TotalWeight() float64 {
+	t := 0.0
+	for _, w := range p.Weights {
+		t += w
+	}
+	return t
+}
+
+// CompressOptions control site-pattern compression.
+type CompressOptions struct {
+	// Weights assigns a non-negative weight to each alignment column.
+	// Columns with zero weight are dropped. Nil means weight 1 everywhere.
+	Weights []float64
+	// Rates assigns a relative rate to each column (DNArates output or
+	// category rates). Columns are only aliased when their rates are
+	// equal. Nil means rate 1 everywhere.
+	Rates []float64
+	// Disable turns compression off: every column becomes its own
+	// pattern. Used by the compression ablation benchmark.
+	Disable bool
+}
+
+// Compress collapses identical alignment columns into weighted patterns.
+func Compress(a *Alignment, opt CompressOptions) (*Patterns, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	nsites := a.NumSites()
+	nseqs := a.NumSeqs()
+	if opt.Weights != nil && len(opt.Weights) != nsites {
+		return nil, fmt.Errorf("seq: %d weights for %d sites", len(opt.Weights), nsites)
+	}
+	if opt.Rates != nil && len(opt.Rates) != nsites {
+		return nil, fmt.Errorf("seq: %d rates for %d sites", len(opt.Rates), nsites)
+	}
+	weightAt := func(s int) float64 {
+		if opt.Weights == nil {
+			return 1
+		}
+		return opt.Weights[s]
+	}
+	rateAt := func(s int) float64 {
+		if opt.Rates == nil {
+			return 1
+		}
+		return opt.Rates[s]
+	}
+	for s := 0; s < nsites; s++ {
+		if weightAt(s) < 0 {
+			return nil, fmt.Errorf("seq: negative weight at site %d", s+1)
+		}
+		if rateAt(s) <= 0 {
+			return nil, fmt.Errorf("seq: non-positive rate at site %d", s+1)
+		}
+	}
+
+	p := &Patterns{
+		Codes:  make([][]Code, nseqs),
+		SiteOf: make([]int, nsites),
+	}
+	for i := range p.Codes {
+		p.Codes[i] = make([]Code, 0, nsites)
+	}
+
+	// Order columns by content so identical columns are adjacent; this
+	// gives deterministic pattern order without hashing variable-length
+	// keys.
+	order := make([]int, 0, nsites)
+	for s := 0; s < nsites; s++ {
+		if weightAt(s) > 0 {
+			order = append(order, s)
+		}
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("seq: all site weights are zero")
+	}
+	cmp := func(x, y int) int {
+		for i := 0; i < nseqs; i++ {
+			cx, cy := a.Data[i][x], a.Data[i][y]
+			if cx != cy {
+				return int(cx) - int(cy)
+			}
+		}
+		switch rx, ry := rateAt(x), rateAt(y); {
+		case rx < ry:
+			return -1
+		case rx > ry:
+			return 1
+		}
+		return 0
+	}
+	if !opt.Disable {
+		sort.SliceStable(order, func(i, j int) bool { return cmp(order[i], order[j]) < 0 })
+	}
+
+	for idx, s := range order {
+		newPattern := idx == 0 || opt.Disable || cmp(order[idx-1], s) != 0
+		if newPattern {
+			for i := 0; i < nseqs; i++ {
+				p.Codes[i] = append(p.Codes[i], a.Data[i][s])
+			}
+			p.Weights = append(p.Weights, 0)
+			p.Rates = append(p.Rates, rateAt(s))
+		}
+		pat := len(p.Weights) - 1
+		p.Weights[pat] += weightAt(s)
+		p.SiteOf[s] = pat
+	}
+	for s := 0; s < nsites; s++ {
+		if weightAt(s) == 0 {
+			p.SiteOf[s] = -1
+		}
+	}
+	return p, nil
+}
+
+// ExpandPerSite maps per-pattern values back onto the original alignment
+// columns. Columns dropped by zero weight receive fill.
+func (p *Patterns) ExpandPerSite(perPattern []float64, fill float64) ([]float64, error) {
+	if len(perPattern) != p.NumPatterns() {
+		return nil, fmt.Errorf("seq: %d values for %d patterns", len(perPattern), p.NumPatterns())
+	}
+	out := make([]float64, len(p.SiteOf))
+	for s, pat := range p.SiteOf {
+		if pat < 0 {
+			out[s] = fill
+		} else {
+			out[s] = perPattern[pat]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,222 @@
+package spsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tree"
+)
+
+// Synthetic run logs. Running the real 150-taxon search serially takes
+// days (the paper's own serial run was ~192 hours), so the paper-scale
+// figures replay a *synthesized* schedule instead: the exact round
+// structure of the algorithm (2i-5 insertion tasks per addition, the
+// measured rearrangement candidate counts for the chosen extent, one
+// trailing no-improvement round per rearrangement loop) with per-task
+// costs drawn from a cost model calibrated against measured small runs
+// (see cmd/scaling -exp calibrate and EXPERIMENTS.md). Every draw is
+// seeded, so synthetic logs are reproducible.
+
+// CostModel converts task shape into likelihood work units.
+type CostModel struct {
+	// QuickUnitsPerTaxonPattern scales a quick-scored candidate task:
+	// units ~ coeff * taxaInTree * patterns.
+	QuickUnitsPerTaxonPattern float64
+	// SmoothUnitsPerTaxonPattern scales a full-smoothing task.
+	SmoothUnitsPerTaxonPattern float64
+	// Sigma is the lognormal spread of task costs; the paper attributes
+	// the loose synchronization to "variation among trees in the number
+	// of calculations required" (§2).
+	Sigma float64
+	// NewickBytesPerTaxon approximates the serialized size of a
+	// candidate tree per contained taxon.
+	NewickBytesPerTaxon float64
+}
+
+// DefaultCostModel returns coefficients fitted against measured searches
+// (cmd/scaling -exp calibrate regenerates the fit; EXPERIMENTS.md records
+// the values used here).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		QuickUnitsPerTaxonPattern:  810,
+		SmoothUnitsPerTaxonPattern: 850,
+		Sigma:                      0.25,
+		NewickBytesPerTaxon:        22,
+	}
+}
+
+// Shape describes a workload to synthesize.
+type Shape struct {
+	// Taxa is the number of sequences.
+	Taxa int
+	// Patterns is the number of distinct site patterns after
+	// compression.
+	Patterns int
+	// Extent is the local rearrangement setting (paper tests: 5).
+	Extent int
+	// FinalExtent is the final pass setting (0 = same as Extent).
+	FinalExtent int
+	// Seed makes the synthesis deterministic.
+	Seed int64
+	// Cost is the task cost model (zero value = DefaultCostModel).
+	Cost CostModel
+}
+
+// Synthesize builds a RunLog with the algorithm's round structure at the
+// shape's scale.
+func Synthesize(s Shape) (*RunLog, error) {
+	if s.Taxa < 4 {
+		return nil, fmt.Errorf("spsim: synthesize needs >= 4 taxa, got %d", s.Taxa)
+	}
+	if s.Patterns < 1 {
+		return nil, fmt.Errorf("spsim: synthesize needs patterns, got %d", s.Patterns)
+	}
+	if s.Extent < 0 {
+		return nil, fmt.Errorf("spsim: negative extent")
+	}
+	if s.FinalExtent == 0 {
+		s.FinalExtent = s.Extent
+	}
+	if s.Cost == (CostModel{}) {
+		s.Cost = DefaultCostModel()
+	}
+	rng := rand.New(rand.NewSource(s.Seed*2 + 1))
+	counts := newCandidateCounter(s.Seed)
+
+	log := &RunLog{Label: fmt.Sprintf("synthetic %d taxa x %d patterns extent %d", s.Taxa, s.Patterns, s.Extent)}
+
+	quick := func(taxa int) float64 {
+		mean := s.Cost.QuickUnitsPerTaxonPattern * float64(taxa) * float64(s.Patterns)
+		return mean * math.Exp(s.Cost.Sigma*rng.NormFloat64())
+	}
+	smoothUnits := func(taxa int) float64 {
+		mean := s.Cost.SmoothUnitsPerTaxonPattern * float64(taxa) * float64(s.Patterns)
+		return mean * math.Exp(s.Cost.Sigma/2*rng.NormFloat64())
+	}
+	bytesFor := func(taxa, ntasks int) float64 {
+		return s.Cost.NewickBytesPerTaxon * float64(taxa) * float64(ntasks)
+	}
+	addRound := func(kind string, taxa, ntasks int, full bool) {
+		r := Round{Kind: kind, GenBytes: bytesFor(taxa, ntasks)}
+		for t := 0; t < ntasks; t++ {
+			if full {
+				r.TaskUnits = append(r.TaskUnits, smoothUnits(taxa))
+			} else {
+				r.TaskUnits = append(r.TaskUnits, quick(taxa))
+			}
+		}
+		log.Rounds = append(log.Rounds, r)
+	}
+
+	// Initial triple.
+	addRound("init", 3, 1, true)
+
+	// pImprove models how often a rearrangement round finds a better
+	// tree: calibration against measured searches gives roughly one
+	// improving round per taxa rounds (6-7% at 16-20 taxa; see
+	// cmd/scaling -exp calibrate and EXPERIMENTS.md), declining within
+	// a loop as the tree converges.
+	pImprove := func(taxa, roundIdx int) float64 {
+		p := 1.0 / float64(taxa)
+		if p > 0.35 {
+			p = 0.35
+		}
+		return p / float64(uint(1)<<uint(roundIdx))
+	}
+
+	rearrangeLoop := func(kind string, taxa, extent int) {
+		if extent <= 0 {
+			return
+		}
+		n := counts.count(taxa, extent)
+		if n == 0 {
+			return
+		}
+		for round := 0; ; round++ {
+			addRound(kind, taxa, n, false)
+			if rng.Float64() >= pImprove(taxa, round) || round > 30 {
+				// Trailing round found no improvement: a speculating
+				// master would have guessed this round's outcome and
+				// overlapped the next round with it.
+				log.Rounds[len(log.Rounds)-1].SpeculativeNext = true
+				return
+			}
+			addRound("smooth", taxa, 1, true)
+		}
+	}
+
+	for i := 4; i <= s.Taxa; i++ {
+		addRound("add", i, 2*i-5, false)
+		addRound("smooth", i, 1, true)
+		if i < s.Taxa {
+			rearrangeLoop("rearrange", i, s.Extent)
+		}
+	}
+	rearrangeLoop("final", s.Taxa, s.FinalExtent)
+	return log, nil
+}
+
+// candidateCounter returns the number of topologically distinct
+// rearrangement candidates for an i-taxon tree at a given extent. Counts
+// are exact (full enumeration on a representative random-addition tree)
+// up to exactCountLimit taxa and linearly extrapolated beyond — the count
+// grows linearly in i for fixed extent because each of the O(i) directed
+// subtrees reaches a bounded number of target edges.
+type candidateCounter struct {
+	seed  int64
+	cache map[[2]int]int
+}
+
+const (
+	exactCountLimit = 40
+	fitLo, fitHi    = 24, 40
+)
+
+func newCandidateCounter(seed int64) *candidateCounter {
+	return &candidateCounter{seed: seed, cache: map[[2]int]int{}}
+}
+
+func (c *candidateCounter) count(taxa, extent int) int {
+	if taxa < 4 {
+		return 0
+	}
+	if extent == 1 {
+		return 2*taxa - 6 // the NNI count, exact for every tree shape
+	}
+	if taxa <= exactCountLimit {
+		return c.exact(taxa, extent)
+	}
+	// Linear fit through the exact counts at fitLo and fitHi.
+	lo := float64(c.exact(fitLo, extent))
+	hi := float64(c.exact(fitHi, extent))
+	slope := (hi - lo) / float64(fitHi-fitLo)
+	est := hi + slope*float64(taxa-fitHi)
+	if est < 0 {
+		est = 0
+	}
+	return int(est + 0.5)
+}
+
+func (c *candidateCounter) exact(taxa, extent int) int {
+	key := [2]int{taxa, extent}
+	if v, ok := c.cache[key]; ok {
+		return v
+	}
+	names := make([]string, taxa)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+	}
+	rng := rand.New(rand.NewSource(c.seed ^ int64(taxa*1000+extent)))
+	tr, err := tree.RandomTree(names, rng, 0.1)
+	if err != nil {
+		c.cache[key] = 0
+		return 0
+	}
+	n, err := tr.Rearrangements(extent, func(*tree.Tree, tree.RearrangeCandidate) bool { return true })
+	if err != nil {
+		n = 0
+	}
+	c.cache[key] = n
+	return n
+}

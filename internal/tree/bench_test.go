@@ -1,0 +1,70 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTree(b *testing.B, n int) *Tree {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	tr, err := RandomTree(taxaNames(n), rng, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkNewickRoundTrip measures serialize+parse of a 150-taxon tree
+// (the wire format of every dispatched task).
+func BenchmarkNewickRoundTrip(b *testing.B) {
+	tr := benchTree(b, 150)
+	names := tr.Taxa
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tr.Newick()
+		if _, err := ParseNewick(s, names); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRearrangementsExtent5 measures candidate enumeration at the
+// paper's setting on a 50-taxon tree.
+func BenchmarkRearrangementsExtent5(b *testing.B) {
+	tr := benchTree(b, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Rearrangements(5, func(*Tree, RearrangeCandidate) bool { return true }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSplits measures bipartition extraction on a 150-taxon tree.
+func BenchmarkSplits(b *testing.B) {
+	tr := benchTree(b, 150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := len(tr.Splits()); got != 147 {
+			b.Fatalf("%d splits", got)
+		}
+	}
+}
+
+// BenchmarkMajorityRule measures consensus over 100 trees of 50 taxa.
+func BenchmarkMajorityRule(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	base := benchTree(b, 50)
+	var trees []*Tree
+	for i := 0; i < 100; i++ {
+		trees = append(trees, base.Clone())
+	}
+	_ = rng
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MajorityRule(trees, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

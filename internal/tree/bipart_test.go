@@ -1,0 +1,374 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitsCount(t *testing.T) {
+	// An n-leaf binary tree has n-3 internal edges, hence n-3 nontrivial
+	// splits.
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{4, 6, 9, 20} {
+		tr, _ := RandomTree(taxaNames(n), rng, 0.1)
+		if got := len(tr.Splits()); got != n-3 {
+			t.Errorf("n=%d: %d splits, want %d", n, got, n-3)
+		}
+	}
+}
+
+func TestSplitNormalization(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	tr, err := ParseNewick("((a,b),(c,d));", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := tr.Splits()
+	if len(sp) != 1 {
+		t.Fatalf("%d splits, want 1", len(sp))
+	}
+	for _, s := range sp {
+		if s.Contains(0) {
+			t.Error("stored side must exclude taxon 0")
+		}
+		if s.Size() != 2 {
+			t.Errorf("split size %d, want 2", s.Size())
+		}
+		m := s.Members()
+		if len(m) != 2 || m[0] != 2 || m[1] != 3 {
+			t.Errorf("members = %v, want [2 3]", m)
+		}
+	}
+}
+
+func TestRobinsonFouldsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		tr, err := RandomTree(taxaNames(n), rng, 0.1)
+		if err != nil {
+			return false
+		}
+		d, norm, err := RobinsonFoulds(tr, tr.Clone())
+		return err == nil && d == 0 && norm == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRobinsonFouldsSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		t1, _ := RandomTree(taxaNames(n), rng, 0.1)
+		t2, _ := RandomTree(taxaNames(n), rng, 0.1)
+		d12, _, e1 := RobinsonFoulds(t1, t2)
+		d21, _, e2 := RobinsonFoulds(t2, t1)
+		return e1 == nil && e2 == nil && d12 == d21
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRobinsonFouldsNNIDistance(t *testing.T) {
+	// An NNI neighbor differs in exactly one split: RF distance 2.
+	rng := rand.New(rand.NewSource(42))
+	tr, _ := RandomTree(taxaNames(8), rng, 0.1)
+	orig := tr.Clone() // tr itself is mutated during enumeration
+	checked := 0
+	_, err := tr.Rearrangements(1, func(view *Tree, c RearrangeCandidate) bool {
+		cp, err := ParseNewick(view.Newick(), view.Taxa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _, err := RobinsonFoulds(orig, cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 2 {
+			t.Errorf("NNI neighbor at RF distance %d, want 2", d)
+		}
+		checked++
+		return checked < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("no NNI neighbors checked")
+	}
+}
+
+func TestSameTopology(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	t1, _ := ParseNewick("((a,b),c,(d,e));", names)
+	t2, _ := ParseNewick("((b:2,a:1):3,(e,d):1,c:9);", names)
+	t3, _ := ParseNewick("((a,c),b,(d,e));", names)
+	if !SameTopology(t1, t2) {
+		t.Error("t1 and t2 should match (lengths/order differ only)")
+	}
+	if SameTopology(t1, t3) {
+		t.Error("t1 and t3 should differ")
+	}
+}
+
+func TestSplitCompatibility(t *testing.T) {
+	names := taxaNames(6)
+	t1, _ := ParseNewick("(((t00,t01),t02),t03,(t04,t05));", names)
+	sp := t1.Splits()
+	// All splits of one tree are pairwise compatible.
+	var list []Split
+	for _, s := range sp {
+		list = append(list, s)
+	}
+	for i := range list {
+		for j := range list {
+			if !list[i].CompatibleWith(list[j]) {
+				t.Errorf("splits of one tree must be compatible")
+			}
+		}
+	}
+	// {t01,t02} vs {t02,t03} conflict (overlap, neither nested).
+	t2, _ := ParseNewick("((t01,t02),t00,(t03,(t04,t05)));", names)
+	t3, _ := ParseNewick("((t02,t03),t00,(t01,(t04,t05)));", names)
+	var s2, s3 Split
+	for _, s := range t2.Splits() {
+		if s.Size() == 2 && s.Contains(1) { // {t01,t02}
+			s2 = s
+		}
+	}
+	for _, s := range t3.Splits() {
+		if s.Size() == 2 && s.Contains(3) { // {t02,t03}
+			s3 = s
+		}
+	}
+	if s2.CompatibleWith(s3) {
+		t.Error("overlapping non-nested splits should be incompatible")
+	}
+}
+
+func TestMajorityRuleConsensusUnanimous(t *testing.T) {
+	names := taxaNames(7)
+	rng := rand.New(rand.NewSource(9))
+	tr, _ := RandomTree(names, rng, 0.1)
+	var trees []*Tree
+	for i := 0; i < 5; i++ {
+		trees = append(trees, tr.Clone())
+	}
+	res, err := MajorityRule(trees, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameTopology(res.Tree, tr) {
+		t.Errorf("consensus of identical trees differs:\n%s\n%s", res.Tree.Topology(), tr.Topology())
+	}
+	for k, f := range res.Support {
+		if f != 1 {
+			t.Errorf("support of %s = %g, want 1", k, f)
+		}
+	}
+}
+
+func TestMajorityRuleConsensusMixed(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	// Two trees share split {d,e}; they disagree about {a,b} vs {a,c}.
+	t1, _ := ParseNewick("((a,b),c,(d,e));", names)
+	t2, _ := ParseNewick("((a,c),b,(d,e));", names)
+	t3, _ := ParseNewick("((a,b),c,(d,e));", names)
+	res, err := MajorityRule([]*Tree{t1, t2, t3}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {d,e} in 3/3, {a,b} in 2/3 -> both kept; {a,c} 1/3 dropped.
+	if len(res.Support) != 2 {
+		t.Fatalf("kept %d splits, want 2 (%v)", len(res.Support), res.Support)
+	}
+	if !SameTopology(res.Tree, t1) {
+		t.Errorf("consensus should equal t1's topology, got %s", res.Tree.Topology())
+	}
+}
+
+func TestMajorityRuleConsensusPolytomy(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	t1, _ := ParseNewick("((a,b),c,(d,e));", names)
+	t2, _ := ParseNewick("((a,c),b,(d,e));", names)
+	res, err := MajorityRule([]*Tree{t1, t2}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only {d,e} is unanimous; the rest collapses to a polytomy.
+	if len(res.Support) != 1 {
+		t.Fatalf("kept %d splits, want 1", len(res.Support))
+	}
+	if err := res.Tree.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree.NumLeaves() != 5 {
+		t.Errorf("consensus has %d leaves, want 5", res.Tree.NumLeaves())
+	}
+	if len(res.Tree.Splits()) != 1 {
+		t.Errorf("consensus has %d splits, want 1", len(res.Tree.Splits()))
+	}
+}
+
+func TestMajorityRuleErrors(t *testing.T) {
+	if _, err := MajorityRule(nil, 0.5); err == nil {
+		t.Error("empty input should fail")
+	}
+	names := taxaNames(4)
+	tr, _ := ParseNewick("((t00,t01),t02,t03);", names)
+	if _, err := MajorityRule([]*Tree{tr}, 0.3); err == nil {
+		t.Error("threshold below 0.5 should fail")
+	}
+	other, _ := ParseNewick("((t00,t01),t02,(t03,t04));", taxaNames(5))
+	if _, err := MajorityRule([]*Tree{tr, other}, 0.5); err == nil {
+		t.Error("mismatched taxon sets should fail")
+	}
+}
+
+func TestConsensusFrequenciesRecorded(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	t1, _ := ParseNewick("((a,b),c,(d,e));", names)
+	t2, _ := ParseNewick("((a,c),b,(d,e));", names)
+	res, err := MajorityRule([]*Tree{t1, t2}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SplitFreq includes the dropped minority splits.
+	if len(res.SplitFreq) != 3 {
+		t.Errorf("SplitFreq has %d entries, want 3", len(res.SplitFreq))
+	}
+}
+
+func TestBranchScoreIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	tr, _ := RandomTree(taxaNames(9), rng, 0.1)
+	d, err := BranchScore(tr, tr.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("self distance %g", d)
+	}
+}
+
+func TestBranchScoreLengthSensitive(t *testing.T) {
+	// Same topology, one branch stretched by delta: distance == delta.
+	names := []string{"a", "b", "c", "d"}
+	t1, _ := ParseNewick("((a:1,b:1):1,c:1,d:1);", names)
+	t2, _ := ParseNewick("((a:1.5,b:1):1,c:1,d:1);", names)
+	d, err := BranchScore(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("distance %g, want 0.5", d)
+	}
+	// RF is blind to this difference.
+	rf, _, _ := RobinsonFoulds(t1, t2)
+	if rf != 0 {
+		t.Errorf("RF %d, want 0", rf)
+	}
+}
+
+func TestBranchScoreTopologySensitive(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	t1, _ := ParseNewick("((a:1,b:1):2,c:1,d:1);", names)
+	t2, _ := ParseNewick("((a:1,c:1):2,b:1,d:1);", names)
+	d, err := BranchScore(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two internal splits differ: sqrt(2^2 + 2^2).
+	if math.Abs(d-math.Sqrt(8)) > 1e-12 {
+		t.Errorf("distance %g, want %g", d, math.Sqrt(8))
+	}
+}
+
+func TestBranchScoreSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		t1, _ := RandomTree(taxaNames(n), rng, 0.2)
+		t2, _ := RandomTree(taxaNames(n), rng, 0.2)
+		d12, e1 := BranchScore(t1, t2)
+		d21, e2 := BranchScore(t2, t1)
+		return e1 == nil && e2 == nil && math.Abs(d12-d21) < 1e-12 && d12 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchScoreErrors(t *testing.T) {
+	t1, _ := ParseNewick("((a,b),c,d);", []string{"a", "b", "c", "d"})
+	t2, _ := ParseNewick("((a,b),c,(d,e));", []string{"a", "b", "c", "d", "e"})
+	if _, err := BranchScore(t1, t2); err == nil {
+		t.Error("mismatched taxon sets accepted")
+	}
+}
+
+// TestConsensusOfCopiesQuick: for random trees, the majority rule
+// consensus of k identical copies reproduces the tree, and all its splits
+// report unanimous support.
+func TestConsensusOfCopiesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		k := 2 + rng.Intn(4)
+		tr, err := RandomTree(taxaNames(n), rng, 0.1)
+		if err != nil {
+			return false
+		}
+		var trees []*Tree
+		for i := 0; i < k; i++ {
+			trees = append(trees, tr.Clone())
+		}
+		res, err := MajorityRule(trees, 0.5)
+		if err != nil || !SameTopology(res.Tree, tr) {
+			return false
+		}
+		for _, f := range res.Support {
+			if f != 1 {
+				return false
+			}
+		}
+		return len(res.Support) == n-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSplitsLaminarQuick: the splits of any single tree are pairwise
+// compatible (laminar family), a core invariant the consensus builder
+// relies on.
+func TestSplitsLaminarQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		tr, err := RandomTree(taxaNames(n), rng, 0.1)
+		if err != nil {
+			return false
+		}
+		var list []Split
+		for _, s := range tr.Splits() {
+			list = append(list, s)
+		}
+		for i := range list {
+			for j := range list {
+				if !list[i].CompatibleWith(list[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package tree
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNumTopologiesSmall(t *testing.T) {
+	want := map[int]int64{
+		1: 1, 2: 1, 3: 1,
+		4: 3, 5: 15, 6: 105, 7: 945, 8: 10395,
+	}
+	for n, w := range want {
+		got, err := NumTopologies(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(big.NewInt(w)) != 0 {
+			t.Errorf("NumTopologies(%d) = %s, want %d", n, got, w)
+		}
+	}
+	if _, err := NumTopologies(0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+// TestNumTopologiesPaperValues reproduces the paper's §1.1 figures:
+// 2.8e74 (50 taxa), 1.7e182 (100), 4.2e301 (150).
+func TestNumTopologiesPaperValues(t *testing.T) {
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{50, "2.8 x 10^74"},
+		{100, "1.7 x 10^182"},
+		{150, "4.2 x 10^301"},
+	}
+	for _, c := range cases {
+		got, err := FormatTopologyCount(c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("FormatTopologyCount(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+// TestNumTopologiesRecurrence: adding the (n+1)-th taxon multiplies the
+// count by the number of insertion edges, 2(n+1)-5 = 2n-3.
+func TestNumTopologiesRecurrence(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := 3 + int(raw%40)
+		a, err1 := NumTopologies(n)
+		b, err2 := NumTopologies(n + 1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		expect := new(big.Int).Mul(a, big.NewInt(int64(2*n-3)))
+		return b.Cmp(expect) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRootedVsUnrooted: rooted count for n equals unrooted count for n+1
+// (rooting is equivalent to adding an outgroup).
+func TestRootedVsUnrooted(t *testing.T) {
+	for n := 2; n <= 20; n++ {
+		r, err := NumRootedTopologies(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := NumTopologies(n + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cmp(u) != 0 {
+			t.Errorf("rooted(%d)=%s != unrooted(%d)=%s", n, r, n+1, u)
+		}
+	}
+}
+
+func TestNumTopologiesLog10Consistent(t *testing.T) {
+	exact, _ := NumTopologies(30)
+	lg, err := NumTopologiesLog10(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare digit count: floor(log10)+1 must equal the decimal length.
+	digits := len(strings.TrimLeft(exact.String(), "-"))
+	if int(lg)+1 != digits {
+		t.Errorf("log10 = %g implies %d digits, exact has %d", lg, int(lg)+1, digits)
+	}
+}

@@ -1,0 +1,316 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Newick support. Trees travel between the master, foreman, and workers as
+// Newick strings (the paper's processes exchange ASCII-encoded tree files),
+// so parsing and writing must round-trip topology and branch lengths
+// exactly for the parallel runtime to be correct.
+
+// WriteNewickOptions control Newick output.
+type WriteNewickOptions struct {
+	// Lengths includes branch lengths (":0.123456") when true.
+	Lengths bool
+	// Canonical orders subtrees by their smallest contained taxon index
+	// and anchors the output at the leaf with the smallest taxon, giving
+	// a unique string per (topology, lengths) pair.
+	Canonical bool
+	// Precision is the number of significant digits for lengths
+	// (9 when zero).
+	Precision int
+}
+
+// Newick renders the tree with lengths, canonically ordered.
+func (t *Tree) Newick() string {
+	s, err := t.WriteNewick(WriteNewickOptions{Lengths: true, Canonical: true})
+	if err != nil {
+		return fmt.Sprintf("<invalid tree: %v>", err)
+	}
+	return s
+}
+
+// Topology renders the tree canonically without branch lengths; equal
+// strings mean equal unrooted topologies.
+func (t *Tree) Topology() string {
+	s, err := t.WriteNewick(WriteNewickOptions{Canonical: true})
+	if err != nil {
+		return fmt.Sprintf("<invalid tree: %v>", err)
+	}
+	return s
+}
+
+// WriteNewick renders the tree as a Newick string terminated by ';'.
+func (t *Tree) WriteNewick(opt WriteNewickOptions) (string, error) {
+	anchor := t.AnyNode()
+	if anchor == nil {
+		return "", fmt.Errorf("tree: empty tree")
+	}
+	if opt.Canonical {
+		// Anchor at the attachment of the smallest-taxon leaf so the
+		// rendering is rooting-invariant.
+		taxa := t.TaxaInTree()
+		leaf := t.LeafByTaxon(taxa[0])
+		if leaf.Degree() > 0 {
+			anchor = leaf.Nbr[0]
+		} else {
+			anchor = leaf
+		}
+	}
+	prec := opt.Precision
+	if prec <= 0 {
+		prec = 9
+	}
+	// render returns the subtree's text and its smallest contained taxon.
+	var render func(n, parent *Node) (string, int)
+	render = func(n, parent *Node) (string, int) {
+		if n.Leaf() && (parent != nil || n.Degree() == 0) {
+			return quoteLabel(t.Taxa[n.Taxon]), n.Taxon
+		}
+		type child struct {
+			text string
+			min  int
+		}
+		var kids []child
+		for _, m := range n.Nbr {
+			if m == parent {
+				continue
+			}
+			text, minTax := render(m, n)
+			if opt.Lengths {
+				text += ":" + strconv.FormatFloat(n.LenTo(m), 'g', prec, 64)
+			}
+			kids = append(kids, child{text, minTax})
+		}
+		if opt.Canonical {
+			sort.Slice(kids, func(i, j int) bool { return kids[i].min < kids[j].min })
+		}
+		var b strings.Builder
+		b.WriteByte('(')
+		for i, k := range kids {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(k.text)
+		}
+		b.WriteByte(')')
+		min := math.MaxInt32
+		for _, k := range kids {
+			if k.min < min {
+				min = k.min
+			}
+		}
+		if n.Leaf() {
+			// A leaf used as the traversal root still prints its label.
+			b.WriteString(quoteLabel(t.Taxa[n.Taxon]))
+			if n.Taxon < min {
+				min = n.Taxon
+			}
+		}
+		return b.String(), min
+	}
+	text, _ := render(anchor, nil)
+	return text + ";", nil
+}
+
+// quoteLabel quotes a taxon label when it contains Newick metacharacters.
+func quoteLabel(s string) string {
+	if strings.ContainsAny(s, "();:, \t'[]") {
+		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	}
+	return s
+}
+
+// ParseNewick parses a Newick string into an unrooted tree over the given
+// taxon set. Labels must name members of taxa. Rooted inputs (a top-level
+// bifurcation) are unrooted by merging the two root edges. Internal labels
+// and bracket comments are ignored.
+func ParseNewick(s string, taxa []string) (*Tree, error) {
+	idx := make(map[string]int, len(taxa))
+	for i, name := range taxa {
+		if _, dup := idx[name]; dup {
+			return nil, fmt.Errorf("newick: duplicate taxon label %q", name)
+		}
+		idx[name] = i
+	}
+	p := &newickParser{src: s, taxa: idx}
+	t := New(taxa)
+	root, _, err := p.parseSubtree(t)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == ';' {
+		p.pos++
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("newick: trailing input at offset %d", p.pos)
+	}
+	if root == nil {
+		return nil, fmt.Errorf("newick: empty input")
+	}
+	// Unroot a rooted (degree-2) root by dissolving it.
+	if !root.Leaf() && root.Degree() == 2 {
+		a, b := root.Nbr[0], root.Nbr[1]
+		la, lb := root.Len[0], root.Len[1]
+		disconnect(root, a)
+		disconnect(root, b)
+		connect(a, b, la+lb)
+		t.releaseNode(root)
+	}
+	if err := t.Validate(false); err != nil {
+		return nil, fmt.Errorf("newick: %w", err)
+	}
+	return t, nil
+}
+
+type newickParser struct {
+	src  string
+	pos  int
+	taxa map[string]int
+}
+
+func (p *newickParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		case '[': // bracket comment
+			end := strings.IndexByte(p.src[p.pos:], ']')
+			if end < 0 {
+				p.pos = len(p.src)
+				return
+			}
+			p.pos += end + 1
+		default:
+			return
+		}
+	}
+}
+
+// parseSubtree parses a subtree and returns its root node and the branch
+// length annotated on it (0 when absent).
+func (p *newickParser) parseSubtree(t *Tree) (*Node, float64, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, 0, fmt.Errorf("newick: unexpected end of input")
+	}
+	var n *Node
+	if p.src[p.pos] == '(' {
+		p.pos++
+		n = t.newNode(-1)
+		for {
+			child, clen, err := p.parseSubtree(t)
+			if err != nil {
+				return nil, 0, err
+			}
+			connect(n, child, clen)
+			p.skipSpace()
+			if p.pos >= len(p.src) {
+				return nil, 0, fmt.Errorf("newick: unterminated '('")
+			}
+			if p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			if p.src[p.pos] == ')' {
+				p.pos++
+				break
+			}
+			return nil, 0, fmt.Errorf("newick: unexpected %q at offset %d", p.src[p.pos], p.pos)
+		}
+		// Optional internal label, ignored.
+		if _, err := p.parseLabel(); err != nil {
+			return nil, 0, err
+		}
+	} else {
+		label, err := p.parseLabel()
+		if err != nil {
+			return nil, 0, err
+		}
+		if label == "" {
+			return nil, 0, fmt.Errorf("newick: missing taxon label at offset %d", p.pos)
+		}
+		ti, ok := p.taxa[label]
+		if !ok {
+			return nil, 0, fmt.Errorf("newick: unknown taxon %q", label)
+		}
+		if t.LeafByTaxon(ti) != nil {
+			return nil, 0, fmt.Errorf("newick: taxon %q appears twice", label)
+		}
+		n = t.newNode(ti)
+	}
+	length, err := p.parseLength()
+	if err != nil {
+		return nil, 0, err
+	}
+	return n, length, nil
+}
+
+func (p *newickParser) parseLabel() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return "", nil
+	}
+	if p.src[p.pos] == '\'' {
+		var b strings.Builder
+		p.pos++
+		for p.pos < len(p.src) {
+			ch := p.src[p.pos]
+			if ch == '\'' {
+				if p.pos+1 < len(p.src) && p.src[p.pos+1] == '\'' {
+					b.WriteByte('\'')
+					p.pos += 2
+					continue
+				}
+				p.pos++
+				return b.String(), nil
+			}
+			b.WriteByte(ch)
+			p.pos++
+		}
+		return "", fmt.Errorf("newick: unterminated quoted label")
+	}
+	start := p.pos
+	for p.pos < len(p.src) {
+		ch := p.src[p.pos]
+		if ch == '(' || ch == ')' || ch == ',' || ch == ':' || ch == ';' ||
+			ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r' || ch == '[' {
+			break
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *newickParser) parseLength() (float64, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != ':' {
+		return 0, nil
+	}
+	p.pos++
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		ch := p.src[p.pos]
+		if (ch >= '0' && ch <= '9') || ch == '.' || ch == '-' || ch == '+' || ch == 'e' || ch == 'E' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return 0, fmt.Errorf("newick: bad branch length at offset %d: %w", start, err)
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v, nil
+}

@@ -1,0 +1,154 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewickRoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(15)
+		names := taxaNames(n)
+		tr, err := RandomTree(names, rng, 0.2)
+		if err != nil {
+			return false
+		}
+		s := tr.Newick()
+		back, err := ParseNewick(s, names)
+		if err != nil {
+			return false
+		}
+		if back.Newick() != s {
+			return false
+		}
+		return SameTopology(tr, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewickCanonicalRootingInvariant(t *testing.T) {
+	// The canonical rendering must be the same regardless of which node
+	// the parse attached things to; re-parsing a non-canonical rendering
+	// still canonicalizes identically.
+	names := []string{"a", "b", "c", "d", "e"}
+	t1, err := ParseNewick("((a:1,b:2):0.5,c:1,(d:1,e:1):0.25);", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := ParseNewick("((d:1,e:1):0.25,(b:2,a:1):0.5,c:1);", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Newick() != t2.Newick() {
+		t.Errorf("canonical forms differ:\n%s\n%s", t1.Newick(), t2.Newick())
+	}
+}
+
+func TestNewickUnrootsRootedInput(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	tr, err := ParseNewick("((a:1,b:1):0.5,(c:1,d:1):0.5);", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Fatalf("rooted input should yield valid unrooted binary tree: %v", err)
+	}
+	// The two root edges merge: the internal edge should have length 1.
+	for _, e := range tr.InternalEdges() {
+		if math.Abs(e.Length()-1.0) > 1e-12 {
+			t.Errorf("merged root edge length = %g, want 1", e.Length())
+		}
+	}
+}
+
+func TestNewickQuotedLabels(t *testing.T) {
+	names := []string{"Homo sapiens", "Pan(troglodytes)", "it's"}
+	tr, err := Triple(names, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Newick()
+	if !strings.Contains(s, "'Homo sapiens'") {
+		t.Errorf("expected quoted label in %s", s)
+	}
+	back, err := ParseNewick(s, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumLeaves() != 3 {
+		t.Error("quoted round trip lost leaves")
+	}
+}
+
+func TestNewickErrors(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	bad := []string{
+		"",
+		"(a,b,c",        // unterminated
+		"(a,b,zz);",     // unknown taxon
+		"(a,b,a);",      // duplicate taxon
+		"(a,b,c);extra", // trailing garbage
+		"(a:x,b,c);",    // bad length
+	}
+	for _, s := range bad {
+		if _, err := ParseNewick(s, names); err == nil {
+			t.Errorf("ParseNewick(%q): expected error", s)
+		}
+	}
+}
+
+func TestNewickComments(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	tr, err := ParseNewick("[comment](a[x]:1,b:2,c:3)[y];", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 3 {
+		t.Error("comment parsing lost leaves")
+	}
+}
+
+func TestNewickNegativeLengthClamped(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	tr, err := ParseNewick("(a:-0.5,b:1,c:1);", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := tr.LeafByTaxon(0)
+	if leaf.Len[0] != 0 {
+		t.Errorf("negative length should clamp to 0, got %g", leaf.Len[0])
+	}
+}
+
+func TestTopologyIgnoresLengths(t *testing.T) {
+	names := taxaNames(6)
+	rng := rand.New(rand.NewSource(4))
+	tr, _ := RandomTree(names, rng, 0.1)
+	key1 := tr.Topology()
+	for _, e := range tr.Edges() {
+		SetLen(e.A, e.B, e.Length()*3+0.01)
+	}
+	if tr.Topology() != key1 {
+		t.Error("Topology changed when only lengths changed")
+	}
+}
+
+func TestParseNewickMultifurcating(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	tr, err := ParseNewick("(a,b,c,d,e);", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(true); err == nil {
+		t.Error("star tree should fail binary validation")
+	}
+}

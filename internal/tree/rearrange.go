@@ -1,0 +1,206 @@
+package tree
+
+import "fmt"
+
+// Candidate topology enumeration.
+//
+// Step 3 of the fastDNAml algorithm adds taxon i to every topologically
+// distinct place in the current tree: each of its 2(i-1)-3 = 2i-5 edges.
+// Steps 4 and 5 perform local rearrangements: every subtree is moved
+// across one or more internal vertices, up to a user-set extent; crossing
+// a single vertex yields the 2i-6 nearest-neighbor-interchange topologies.
+// The master enumerates these candidates and dispatches each to a worker
+// (paper Fig 2), so enumeration must be deterministic and must not count
+// duplicate topologies twice.
+
+// InsertionEdges returns the edges at which a new taxon can be inserted:
+// every edge of the tree, 2i-5 of them for a tree with i-1 leaves... and
+// deterministic order. (For a tree with m leaves there are 2m-3 edges.)
+func (t *Tree) InsertionEdges() []Edge { return t.Edges() }
+
+// RearrangeCandidate describes one subtree-regraft move: the subtree
+// rooted at Subtree (as seen from its attachment) is pruned and reattached
+// onto TargetEdge, which lies within the configured extent of the original
+// attachment.
+type RearrangeCandidate struct {
+	// Subtree is the root node of the moved subtree.
+	Subtree *Node
+	// Attach is the (dissolved) attachment's surviving neighbor pair,
+	// recorded for diagnostics.
+	Attach Edge
+	// Target is the edge the subtree was regrafted onto, in the
+	// pre-mutation tree's node identities.
+	Target Edge
+	// Distance is the number of vertices crossed (1..extent).
+	Distance int
+}
+
+// Rearrangements enumerates the topologically distinct trees reachable by
+// moving any subtree across at most extent internal vertices, the
+// paper's steps 4-5. For each distinct candidate it calls fn with a
+// mutated view of the tree (valid only during the call; the mutation is
+// undone afterwards) and the candidate description. fn returning false
+// stops the enumeration early. It returns the number of distinct
+// candidates visited.
+//
+// The tree must be unrooted binary with at least 4 leaves; extent must be
+// at least 1. Candidates whose topology equals the input topology are
+// skipped, as are duplicates reachable by several moves.
+func (t *Tree) Rearrangements(extent int, fn func(view *Tree, cand RearrangeCandidate) bool) (int, error) {
+	if extent < 1 {
+		return 0, fmt.Errorf("tree: rearrangement extent %d, must be >= 1", extent)
+	}
+	if err := t.Validate(true); err != nil {
+		return 0, err
+	}
+	if t.NumLeaves() < 4 {
+		return 0, nil // a 3-leaf tree has a unique topology
+	}
+	original := t.Topology()
+	seen := map[string]bool{original: true}
+	count := 0
+
+	// Enumerate directed edges p->s with p internal: pruning s's subtree
+	// dissolves p. Snapshot the edges as ID pairs: the mutate/undo cycle
+	// releases and recreates the attachment node, so pointers captured
+	// here would go stale, but undo restores the same ID in the same
+	// slot with the same adjacency.
+	type directed struct{ p, s int }
+	var moves []directed
+	for _, n := range t.Nodes {
+		if n == nil || n.Leaf() {
+			continue
+		}
+		for _, m := range n.Nbr {
+			moves = append(moves, directed{n.ID, m.ID})
+		}
+	}
+
+	for _, mv := range moves {
+		p, s := t.Nodes[mv.p], t.Nodes[mv.s]
+		// Record the dissolved geometry for undo.
+		var others []*Node
+		var lens []float64
+		for i, nb := range p.Nbr {
+			if nb != s {
+				others = append(others, nb)
+				lens = append(lens, p.Len[i])
+			}
+		}
+		lps := p.LenTo(s)
+		joined, err := t.PruneSubtree(p, s)
+		if err != nil {
+			return count, err
+		}
+
+		// BFS over edges of the remaining tree from the joined edge.
+		targets := edgesWithin(joined, extent)
+
+		stop := false
+		for _, tg := range targets {
+			mid, err := t.RegraftSubtree(s, tg.e, lps)
+			if err != nil {
+				return count, err
+			}
+			key := t.Topology()
+			if !seen[key] {
+				seen[key] = true
+				count++
+				if !fn(t, RearrangeCandidate{Subtree: s, Attach: joined, Target: tg.e, Distance: tg.dist}) {
+					stop = true
+				}
+			}
+			// Undo the regraft: dissolve mid, restoring tg.e exactly.
+			undoRegraft(t, mid, s)
+			if stop {
+				break
+			}
+		}
+
+		// Undo the prune: split the joined edge with a fresh attachment
+		// node restoring the original lengths.
+		undoPrune(t, joined, s, others, lens, lps)
+		if stop {
+			break
+		}
+	}
+	return count, nil
+}
+
+// edgeTarget is a regraft target with its vertex-crossing distance.
+type edgeTarget struct {
+	e    Edge
+	dist int
+}
+
+// edgesWithin lists the edges reachable from start by crossing at most
+// extent vertices, excluding start itself, in deterministic order.
+func edgesWithin(start Edge, extent int) []edgeTarget {
+	type dirEdge struct {
+		from, to *Node
+		dist     int
+	}
+	var out []edgeTarget
+	seen := map[[2]int]bool{key2(start.A, start.B): true}
+	frontier := []dirEdge{
+		{start.A, start.B, 0}, // expand across B
+		{start.B, start.A, 0}, // expand across A
+	}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		if cur.dist >= extent {
+			continue
+		}
+		across := cur.to
+		for _, nb := range across.Nbr {
+			if nb == cur.from {
+				continue
+			}
+			k := key2(across, nb)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, edgeTarget{Edge{across, nb}, cur.dist + 1})
+			frontier = append(frontier, dirEdge{across, nb, cur.dist + 1})
+		}
+	}
+	return out
+}
+
+func key2(a, b *Node) [2]int {
+	if a.ID < b.ID {
+		return [2]int{a.ID, b.ID}
+	}
+	return [2]int{b.ID, a.ID}
+}
+
+// undoRegraft dissolves the attachment node mid created by RegraftSubtree,
+// restoring the split edge with its pre-split length.
+func undoRegraft(t *Tree, mid, s *Node) {
+	disconnect(mid, s)
+	a, b := mid.Nbr[0], mid.Nbr[1]
+	la, lb := mid.Len[0], mid.Len[1]
+	disconnect(mid, a)
+	disconnect(mid, b)
+	connect(a, b, la+lb)
+	t.releaseNode(mid)
+}
+
+// undoPrune reverses PruneSubtree: it splits the joined edge with a new
+// attachment node connected to others[0] and others[1] at their original
+// lengths and reattaches s at length lps.
+func undoPrune(t *Tree, joined Edge, s *Node, others []*Node, lens []float64, lps float64) {
+	mid := t.newNode(-1)
+	disconnect(joined.A, joined.B)
+	// joined.A/B correspond to others[0]/others[1] in some order.
+	if joined.A == others[0] {
+		connect(others[0], mid, lens[0])
+		connect(mid, others[1], lens[1])
+	} else {
+		connect(others[1], mid, lens[1])
+		connect(mid, others[0], lens[0])
+	}
+	connect(mid, s, lps)
+}

@@ -1,0 +1,193 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRearrangementsNNICount checks the paper's (2i-6) count: crossing one
+// vertex yields exactly 2n-6 topologically distinct trees for an n-leaf
+// binary tree.
+func TestRearrangementsNNICount(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{4, 5, 6, 8, 10, 13} {
+		tr, err := RandomTree(taxaNames(n), rng, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, err := tr.Rearrangements(1, func(view *Tree, c RearrangeCandidate) bool { return true })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != 2*n-6 {
+			t.Errorf("n=%d: %d distinct extent-1 rearrangements, want %d", n, count, 2*n-6)
+		}
+	}
+}
+
+// TestRearrangementsViewsValid checks every candidate view is a valid
+// binary tree over the same leaf set, different from the original.
+func TestRearrangementsViewsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	tr, _ := RandomTree(taxaNames(8), rng, 0.1)
+	origKey := tr.Topology()
+	origLeaves := tr.TaxaInTree()
+	seen := map[string]bool{}
+	_, err := tr.Rearrangements(3, func(view *Tree, c RearrangeCandidate) bool {
+		if err := view.Validate(true); err != nil {
+			t.Errorf("invalid candidate: %v", err)
+			return false
+		}
+		key := view.Topology()
+		if key == origKey {
+			t.Error("candidate equals original topology")
+		}
+		if seen[key] {
+			t.Error("duplicate candidate delivered")
+		}
+		seen[key] = true
+		leaves := view.TaxaInTree()
+		if len(leaves) != len(origLeaves) {
+			t.Error("candidate changed the leaf set")
+		}
+		if c.Distance < 1 || c.Distance > 3 {
+			t.Errorf("candidate distance %d outside [1,3]", c.Distance)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("no candidates generated")
+	}
+}
+
+// TestRearrangementsRestoreTree checks the enumeration leaves the tree
+// exactly as it found it (topology and branch lengths).
+func TestRearrangementsRestoreTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	tr, _ := RandomTree(taxaNames(9), rng, 0.1)
+	want := tr.Newick()
+	if _, err := tr.Rearrangements(2, func(view *Tree, c RearrangeCandidate) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Newick(); got != want {
+		t.Errorf("tree changed by enumeration:\n%s\n%s", want, got)
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRearrangementsExtentMonotone: larger extents can only reach more
+// topologies.
+func TestRearrangementsExtentMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(6)
+		tr, err := RandomTree(taxaNames(n), rng, 0.1)
+		if err != nil {
+			return false
+		}
+		prev := 0
+		for extent := 1; extent <= 4; extent++ {
+			count, err := tr.Rearrangements(extent, func(*Tree, RearrangeCandidate) bool { return true })
+			if err != nil || count < prev {
+				return false
+			}
+			prev = count
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRearrangementsEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tr, _ := RandomTree(taxaNames(8), rng, 0.1)
+	calls := 0
+	count, err := tr.Rearrangements(2, func(*Tree, RearrangeCandidate) bool {
+		calls++
+		return calls < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || count != 3 {
+		t.Errorf("early stop: calls=%d count=%d, want 3", calls, count)
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Errorf("tree invalid after early stop: %v", err)
+	}
+}
+
+func TestRearrangementsSmallTrees(t *testing.T) {
+	tr, _ := Triple(taxaNames(3), 0, 1, 2)
+	count, err := tr.Rearrangements(1, func(*Tree, RearrangeCandidate) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Errorf("3-leaf tree gave %d rearrangements, want 0", count)
+	}
+	if _, err := tr.Rearrangements(0, nil); err == nil {
+		t.Error("extent 0 should fail")
+	}
+}
+
+func TestInsertionEdgesCount(t *testing.T) {
+	// Adding the i-th taxon to a tree with i-1 leaves offers 2i-5 places.
+	rng := rand.New(rand.NewSource(99))
+	for _, i := range []int{4, 5, 8, 12} {
+		tr, _ := RandomTree(taxaNames(i-1), rng, 0.1)
+		if got := len(tr.InsertionEdges()); got != 2*i-5 {
+			t.Errorf("i=%d: %d insertion edges, want %d", i, got, 2*i-5)
+		}
+	}
+}
+
+// TestInsertionsDistinctTopologies: the 2i-5 insertion points give 2i-5
+// pairwise distinct topologies.
+func TestInsertionsDistinctTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr, _ := RandomTree(taxaNames(7), rng, 0.1) // uses taxa 0..6 of 7
+	names := taxaNames(8)
+	tr7, _ := RandomTree(names[:7], rng, 0.1)
+	_ = tr
+	// Rebuild over the 8-taxon name set so taxon 7 can be inserted.
+	tr8 := New(names)
+	base, err := ParseNewick(tr7.Newick(), names[:7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = base
+	// Simpler: grow a tree over 8 names with 7 taxa inserted.
+	tr8, _ = Triple(names, 0, 1, 2)
+	for i := 3; i < 7; i++ {
+		e := tr8.Edges()[rng.Intn(len(tr8.Edges()))]
+		if _, err := tr8.InsertLeaf(i, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]bool{}
+	for _, e := range tr8.InsertionEdges() {
+		cand := tr8.Clone()
+		ca := cand.Nodes[e.A.ID]
+		cb := cand.Nodes[e.B.ID]
+		if _, err := cand.InsertLeaf(7, Edge{ca, cb}); err != nil {
+			t.Fatal(err)
+		}
+		key := cand.Topology()
+		if seen[key] {
+			t.Errorf("duplicate insertion topology at edge %d-%d", e.A.ID, e.B.ID)
+		}
+		seen[key] = true
+	}
+	if len(seen) != 2*8-5 {
+		t.Errorf("%d distinct insertion topologies, want %d", len(seen), 2*8-5)
+	}
+}

@@ -1,0 +1,167 @@
+package viewer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// ASCII rendering: a terminal phylogram for quick inspection (the paper's
+// Figure 1 equivalent without graphics hardware). The unrooted tree is
+// displayed rooted at the attachment of its first taxon, branch lengths
+// drawn proportionally as runs of '-'.
+
+// ASCIIOptions control text rendering.
+type ASCIIOptions struct {
+	// Width is the maximum drawing width in characters (default 72).
+	Width int
+	// ShowLengths appends ":length" to each label.
+	ShowLengths bool
+}
+
+// ASCII renders the tree as text, one leaf per line.
+func ASCII(t *tree.Tree, opt ASCIIOptions) (string, error) {
+	if err := t.Validate(false); err != nil {
+		return "", err
+	}
+	if opt.Width <= 20 {
+		opt.Width = 72
+	}
+	PivotCanonical(t)
+
+	taxa := t.TaxaInTree()
+	if len(taxa) == 0 {
+		return "", fmt.Errorf("viewer: no leaves")
+	}
+	anchor := t.LeafByTaxon(taxa[0])
+	root := anchor
+	if anchor.Degree() > 0 {
+		root = anchor.Nbr[0]
+	}
+
+	// Depth (cumulative length) per node; longest path sets the scale.
+	depth := map[int]float64{root.ID: 0}
+	maxDepth := 0.0
+	var measure func(n, parent *tree.Node)
+	measure = func(n, parent *tree.Node) {
+		for _, m := range n.Nbr {
+			if m == parent {
+				continue
+			}
+			depth[m.ID] = depth[n.ID] + m.LenTo(n)
+			maxDepth = math.Max(maxDepth, depth[m.ID])
+			measure(m, n)
+		}
+	}
+	measure(root, nil)
+	if maxDepth <= 0 {
+		maxDepth = 1
+	}
+	labelSpace := 0
+	for _, ti := range taxa {
+		if len(t.Taxa[ti]) > labelSpace {
+			labelSpace = len(t.Taxa[ti])
+		}
+	}
+	if opt.ShowLengths {
+		labelSpace += 7 // ":0.1234"
+	}
+	drawWidth := opt.Width - labelSpace - 2
+	if drawWidth < 10 {
+		drawWidth = 10
+	}
+	col := func(n *tree.Node) int {
+		return int(depth[n.ID] / maxDepth * float64(drawWidth-1))
+	}
+
+	// Assign each leaf a row (in pivot order); internal nodes sit at the
+	// mean of their children's rows.
+	row := map[int]int{}
+	nextRow := 0
+	var assign func(n, parent *tree.Node) int
+	assign = func(n, parent *tree.Node) int {
+		isTip := true
+		var childRows []int
+		for _, m := range n.Nbr {
+			if m != parent {
+				isTip = false
+				childRows = append(childRows, assign(m, n))
+			}
+		}
+		if isTip {
+			row[n.ID] = nextRow
+			nextRow++
+			return row[n.ID]
+		}
+		sort.Ints(childRows)
+		row[n.ID] = (childRows[0] + childRows[len(childRows)-1]) / 2
+		return row[n.ID]
+	}
+	assign(root, nil)
+
+	grid := make([][]byte, nextRow)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	set := func(r, c int, ch byte) {
+		if r >= 0 && r < len(grid) && c >= 0 && c < opt.Width {
+			grid[r][c] = ch
+		}
+	}
+	// Two passes: vertical connectors first, then horizontal runs and
+	// labels on top, so crossing verticals never cut a branch line.
+	var drawVert func(n, parent *tree.Node)
+	drawVert = func(n, parent *tree.Node) {
+		for _, m := range n.Nbr {
+			if m == parent {
+				continue
+			}
+			c0 := col(n)
+			lo, hi := row[n.ID], row[m.ID]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for r := lo; r <= hi; r++ {
+				set(r, c0, '|')
+			}
+			drawVert(m, n)
+		}
+	}
+	var drawHoriz func(n, parent *tree.Node)
+	drawHoriz = func(n, parent *tree.Node) {
+		for _, m := range n.Nbr {
+			if m == parent {
+				continue
+			}
+			c0, c1 := col(n), col(m)
+			r1 := row[m.ID]
+			set(r1, c0, '+')
+			for c := c0 + 1; c <= c1; c++ {
+				set(r1, c, '-')
+			}
+			if m.Leaf() {
+				label := t.Taxa[m.Taxon]
+				if opt.ShowLengths {
+					label = fmt.Sprintf("%s:%.4f", label, m.LenTo(n))
+				}
+				for i := 0; i < len(label); i++ {
+					set(r1, c1+2+i, label[i])
+				}
+			}
+			drawHoriz(m, n)
+		}
+	}
+	drawVert(root, nil)
+	drawHoriz(root, nil)
+	set(row[root.ID], 0, '+')
+
+	var b strings.Builder
+	for _, line := range grid {
+		b.WriteString(strings.TrimRight(string(line), " "))
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

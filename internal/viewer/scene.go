@@ -1,0 +1,259 @@
+package viewer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// Scene arranges multiple tree layouts along a depth axis — the viewer's
+// presentation of "the growth and refinement of the tree as taxa are
+// added and rearranged" (one layout per iteration, time axis) or of the
+// final trees from multiple runs "arranged for direct visual comparison"
+// (§4). The planar-3D embedding places tree k at depth k*Spacing and
+// projects obliquely to 2D for SVG output.
+type Scene struct {
+	// Layouts are the member trees' embeddings, in depth order.
+	Layouts []*Layout
+	// Labels annotate each layout (e.g. "iteration 12" or "jumble 3").
+	Labels []string
+	// Spacing is the depth distance between consecutive trees.
+	Spacing float64
+}
+
+// NewScene lays out trees (after pivot canonicalization, so visual
+// differences are topological differences) and stacks them.
+func NewScene(trees []*tree.Tree, labels []string) (*Scene, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("viewer: empty scene")
+	}
+	sc := &Scene{Spacing: 1.0}
+	for i, t := range trees {
+		PivotCanonical(t)
+		lay, err := EqualAngle(t)
+		if err != nil {
+			return nil, fmt.Errorf("viewer: tree %d: %w", i, err)
+		}
+		sc.Layouts = append(sc.Layouts, lay)
+		label := fmt.Sprintf("tree %d", i+1)
+		if labels != nil && i < len(labels) {
+			label = labels[i]
+		}
+		sc.Labels = append(sc.Labels, label)
+	}
+	return sc, nil
+}
+
+// project maps a (layout index, planar point) to the oblique 2D screen.
+func (s *Scene) project(k int, p Point2) Point2 {
+	z := float64(k) * s.Spacing
+	return Point2{X: p.X + 0.45*z, Y: p.Y + 0.22*z}
+}
+
+// SVGOptions control rendering.
+type SVGOptions struct {
+	// Width is the image width in pixels (height follows the aspect
+	// ratio). Default 900.
+	Width int
+	// TraceTaxa lists taxon indices to connect across trees with
+	// colored polylines (§4's tracing facility).
+	TraceTaxa []int
+	// LeafLabels draws taxon names at leaves (default on for <= 60
+	// leaves per tree).
+	LeafLabels bool
+}
+
+// traceColors cycles for traced taxa.
+var traceColors = []string{"#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"}
+
+// SVG renders the scene.
+func (s *Scene) SVG(opt SVGOptions) string {
+	if opt.Width <= 0 {
+		opt.Width = 900
+	}
+	// Gather projected geometry.
+	type line struct{ a, b Point2 }
+	var lines []line
+	type leafMark struct {
+		p     Point2
+		label string
+	}
+	var leaves []leafMark
+	traces := map[int][]Point2{}
+
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	grow := func(p Point2) {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+
+	for k, lay := range s.Layouts {
+		for _, e := range lay.Tree.Edges() {
+			a := s.project(k, lay.Pos[e.A.ID])
+			b := s.project(k, lay.Pos[e.B.ID])
+			lines = append(lines, line{a, b})
+			grow(a)
+			grow(b)
+		}
+		for _, n := range lay.Tree.Nodes {
+			if n == nil || !n.Leaf() {
+				continue
+			}
+			p := s.project(k, lay.Pos[n.ID])
+			leaves = append(leaves, leafMark{p, lay.Tree.Taxa[n.Taxon]})
+		}
+		for _, taxon := range opt.TraceTaxa {
+			if leaf := lay.Tree.LeafByTaxon(taxon); leaf != nil {
+				traces[taxon] = append(traces[taxon], s.project(k, lay.Pos[leaf.ID]))
+			}
+		}
+	}
+	if minX > maxX {
+		return "<svg xmlns=\"http://www.w3.org/2000/svg\"/>"
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	const margin = 30.0
+	w := float64(opt.Width)
+	scale := (w - 2*margin) / spanX
+	h := spanY*scale + 2*margin
+	sx := func(x float64) float64 { return margin + (x-minX)*scale }
+	sy := func(y float64) float64 { return h - margin - (y-minY)*scale }
+
+	// Emit geometry in coordinate order so equal scenes produce equal
+	// documents regardless of internal node numbering.
+	sort.Slice(lines, func(i, j int) bool {
+		a, b := lines[i], lines[j]
+		if a.a.X != b.a.X {
+			return a.a.X < b.a.X
+		}
+		if a.a.Y != b.a.Y {
+			return a.a.Y < b.a.Y
+		}
+		if a.b.X != b.b.X {
+			return a.b.X < b.b.X
+		}
+		return a.b.Y < b.b.Y
+	})
+	sort.Slice(leaves, func(i, j int) bool {
+		if leaves[i].label != leaves[j].label {
+			return leaves[i].label < leaves[j].label
+		}
+		return leaves[i].p.X < leaves[j].p.X
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n", w, h, w, h)
+	b.WriteString("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n")
+	for _, ln := range lines {
+		fmt.Fprintf(&b, "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" stroke=\"#444\" stroke-width=\"1\"/>\n",
+			sx(ln.a.X), sy(ln.a.Y), sx(ln.b.X), sy(ln.b.Y))
+	}
+	// Traces above the trees.
+	keys := make([]int, 0, len(traces))
+	for k := range traces {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for ti, taxon := range keys {
+		pts := traces[taxon]
+		color := traceColors[ti%len(traceColors)]
+		var path strings.Builder
+		for i, p := range pts {
+			if i == 0 {
+				fmt.Fprintf(&path, "M%.2f %.2f", sx(p.X), sy(p.Y))
+			} else {
+				fmt.Fprintf(&path, " L%.2f %.2f", sx(p.X), sy(p.Y))
+			}
+		}
+		fmt.Fprintf(&b, "<path d=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"2\" stroke-dasharray=\"4 2\"/>\n", path.String(), color)
+		for _, p := range pts {
+			fmt.Fprintf(&b, "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"3.5\" fill=\"%s\"/>\n", sx(p.X), sy(p.Y), color)
+		}
+	}
+	if opt.LeafLabels {
+		for _, lm := range leaves {
+			fmt.Fprintf(&b, "<text x=\"%.2f\" y=\"%.2f\" font-size=\"9\" fill=\"#222\">%s</text>\n",
+				sx(lm.p.X)+3, sy(lm.p.Y)-2, xmlEscape(lm.label))
+		}
+	}
+	// Scene labels along the depth axis.
+	for k, label := range s.Labels {
+		p := s.project(k, Point2{0, 0})
+		fmt.Fprintf(&b, "<text x=\"%.2f\" y=\"%.2f\" font-size=\"11\" fill=\"#888\">%s</text>\n",
+			sx(p.X), sy(p.Y)+14, xmlEscape(label))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", "\"", "&quot;")
+	return r.Replace(s)
+}
+
+// TraceReport summarizes where traced taxa sit in each tree: the taxon's
+// nearest named neighbors, letting a user follow a taxon's placement
+// across trees without graphics.
+func TraceReport(trees []*tree.Tree, taxa []int) (string, error) {
+	if len(trees) == 0 {
+		return "", fmt.Errorf("viewer: no trees to trace")
+	}
+	var b strings.Builder
+	for _, taxon := range taxa {
+		if taxon < 0 || taxon >= len(trees[0].Taxa) {
+			return "", fmt.Errorf("viewer: taxon index %d out of range", taxon)
+		}
+		fmt.Fprintf(&b, "trace %s:\n", trees[0].Taxa[taxon])
+		for i, t := range trees {
+			leaf := t.LeafByTaxon(taxon)
+			if leaf == nil {
+				fmt.Fprintf(&b, "  tree %d: absent\n", i+1)
+				continue
+			}
+			sibs := nearestTaxa(leaf, 3)
+			names := make([]string, len(sibs))
+			for j, s := range sibs {
+				names[j] = t.Taxa[s]
+			}
+			fmt.Fprintf(&b, "  tree %d: nearest %s\n", i+1, strings.Join(names, ", "))
+		}
+	}
+	return b.String(), nil
+}
+
+// nearestTaxa returns up to k taxon indices closest (in edges) to leaf,
+// excluding the leaf itself.
+func nearestTaxa(leaf *tree.Node, k int) []int {
+	var out []int
+	type item struct {
+		n, parent *tree.Node
+	}
+	queue := []item{{leaf.Nbr[0], leaf}}
+	for len(queue) > 0 && len(out) < k {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.n.Leaf() {
+			out = append(out, cur.n.Taxon)
+			continue
+		}
+		for _, m := range cur.n.Nbr {
+			if m != cur.parent {
+				queue = append(queue, item{m, cur.n})
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}

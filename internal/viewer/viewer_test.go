@@ -1,0 +1,282 @@
+package viewer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func taxaNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("t%02d", i)
+	}
+	return out
+}
+
+func TestEqualAnglePlacesEveryNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr, _ := tree.RandomTree(taxaNames(12), rng, 0.1)
+	lay, err := EqualAngle(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed := 0
+	for _, n := range tr.Nodes {
+		if n == nil {
+			continue
+		}
+		p, ok := lay.Pos[n.ID]
+		if !ok {
+			t.Errorf("node %d not placed", n.ID)
+			continue
+		}
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			t.Errorf("node %d at NaN", n.ID)
+		}
+		placed++
+	}
+	if placed != tr.NumNodes() {
+		t.Errorf("placed %d of %d nodes", placed, tr.NumNodes())
+	}
+}
+
+func TestEqualAngleEdgeLengthsRespected(t *testing.T) {
+	// Drawn edge length must equal the branch length (within epsilon)
+	// because each child sits at distance len along its wedge bisector.
+	rng := rand.New(rand.NewSource(5))
+	tr, _ := tree.RandomTree(taxaNames(8), rng, 0.2)
+	lay, err := EqualAngle(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Edges() {
+		a, b := lay.Pos[e.A.ID], lay.Pos[e.B.ID]
+		drawn := math.Hypot(a.X-b.X, a.Y-b.Y)
+		want := e.Length()
+		if want < 1e-4 {
+			want = 1e-4
+		}
+		if math.Abs(drawn-want) > 1e-9 {
+			t.Errorf("edge %d-%d drawn %g, want %g", e.A.ID, e.B.ID, drawn, want)
+		}
+	}
+}
+
+func TestEqualAngleLeavesDoNotCollide(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr, _ := tree.RandomTree(taxaNames(20), rng, 0.15)
+	lay, err := EqualAngle(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []Point2
+	for _, n := range tr.Nodes {
+		if n != nil && n.Leaf() {
+			pts = append(pts, lay.Pos[n.ID])
+		}
+	}
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if math.Hypot(pts[i].X-pts[j].X, pts[i].Y-pts[j].Y) < 1e-9 {
+				t.Errorf("leaves %d and %d coincide", i, j)
+			}
+		}
+	}
+}
+
+func TestPivotCanonicalIdempotentAndTopologyPreserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr, _ := tree.RandomTree(taxaNames(10), rng, 0.1)
+	before := tr.Newick() // canonical; must survive pivoting
+	PivotCanonical(tr)
+	if err := tr.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Newick() != before {
+		t.Error("pivot changed the canonical tree")
+	}
+	once := fmt.Sprintf("%v", neighborOrder(tr))
+	PivotCanonical(tr)
+	twice := fmt.Sprintf("%v", neighborOrder(tr))
+	if once != twice {
+		t.Error("pivot is not idempotent")
+	}
+}
+
+func neighborOrder(t *tree.Tree) [][]int {
+	var out [][]int
+	for _, n := range t.Nodes {
+		if n == nil {
+			continue
+		}
+		var ids []int
+		for _, m := range n.Nbr {
+			ids = append(ids, m.ID)
+		}
+		out = append(out, ids)
+	}
+	return out
+}
+
+// TestPivotMakesSameTopologyRenderIdentically: two differently-ordered
+// parses of the same topology lay out identically after pivoting.
+func TestPivotMakesSameTopologyRenderIdentically(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	t1, _ := tree.ParseNewick("((a:1,b:1):1,c:1,(d:1,e:1):1);", names)
+	t2, _ := tree.ParseNewick("((e:1,d:1):1,(b:1,a:1):1,c:1);", names)
+	sc1, err := NewScene([]*tree.Tree{t1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := NewScene([]*tree.Tree{t2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg1 := sc1.SVG(SVGOptions{Width: 400})
+	svg2 := sc2.SVG(SVGOptions{Width: 400})
+	if svg1 != svg2 {
+		t.Error("same topology rendered differently after pivoting")
+	}
+}
+
+func TestSceneSVGStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var trees []*tree.Tree
+	for i := 0; i < 3; i++ {
+		tr, _ := tree.RandomTree(taxaNames(6), rng, 0.1)
+		trees = append(trees, tr)
+	}
+	sc, err := NewScene(trees, []string{"one", "two", "three"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := sc.SVG(SVGOptions{Width: 600, TraceTaxa: []int{0, 2}, LeafLabels: true})
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// 3 trees x 9 edges each = 27 lines.
+	if got := strings.Count(svg, "<line"); got != 27 {
+		t.Errorf("%d line elements, want 27", got)
+	}
+	// Two traced taxa -> two dashed paths, 3 circles each.
+	if got := strings.Count(svg, "<path"); got != 2 {
+		t.Errorf("%d trace paths, want 2", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 6 {
+		t.Errorf("%d trace markers, want 6", got)
+	}
+	if !strings.Contains(svg, "t01") {
+		t.Error("leaf labels missing")
+	}
+	if !strings.Contains(svg, ">two<") {
+		t.Error("scene labels missing")
+	}
+}
+
+func TestSceneErrors(t *testing.T) {
+	if _, err := NewScene(nil, nil); err == nil {
+		t.Error("empty scene accepted")
+	}
+}
+
+func TestASCIIContainsAllTaxa(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tr, _ := tree.RandomTree(taxaNames(9), rng, 0.1)
+	out, err := ASCII(tr, ASCIIOptions{Width: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if !strings.Contains(out, fmt.Sprintf("t%02d", i)) {
+			t.Errorf("taxon t%02d missing from rendering:\n%s", i, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 {
+		t.Errorf("%d lines, want 9 (one per leaf):\n%s", len(lines), out)
+	}
+}
+
+func TestASCIIShowLengths(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	tr, _ := tree.ParseNewick("(a:0.5,b:0.25,c:0.125);", names)
+	out, err := ASCII(tr, ASCIIOptions{Width: 60, ShowLengths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, ":0.5000") {
+		t.Errorf("lengths missing:\n%s", out)
+	}
+}
+
+func TestTraceReport(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	t1, _ := tree.ParseNewick("((a,b),c,(d,e));", names)
+	t2, _ := tree.ParseNewick("((a,c),b,(d,e));", names)
+	rep, err := TraceReport([]*tree.Tree{t1, t2}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "trace a:") {
+		t.Errorf("report header missing:\n%s", rep)
+	}
+	if !strings.Contains(rep, "tree 1: nearest") || !strings.Contains(rep, "tree 2: nearest") {
+		t.Errorf("per-tree lines missing:\n%s", rep)
+	}
+	// In t1 'a' sits beside 'b'; in t2 beside 'c'.
+	lines := strings.Split(rep, "\n")
+	if !strings.Contains(lines[1], "b") {
+		t.Errorf("tree 1 neighbors wrong: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "c") {
+		t.Errorf("tree 2 neighbors wrong: %s", lines[2])
+	}
+	if _, err := TraceReport([]*tree.Tree{t1}, []int{99}); err == nil {
+		t.Error("out-of-range taxon accepted")
+	}
+}
+
+// TestASCIIMultifurcatingConsensus: consensus trees (polytomies) render
+// without error and show every taxon.
+func TestASCIIMultifurcatingConsensus(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	t1, _ := tree.ParseNewick("((a,b),c,(d,e));", names)
+	t2, _ := tree.ParseNewick("((a,c),b,(d,e));", names)
+	res, err := tree.MajorityRule([]*tree.Tree{t1, t2}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ASCII(res.Tree, ASCIIOptions{Width: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nm := range names {
+		if !strings.Contains(out, nm) {
+			t.Errorf("taxon %s missing from consensus rendering:\n%s", nm, out)
+		}
+	}
+}
+
+// TestSceneWithConsensusTree: the SVG path handles multifurcations too.
+func TestSceneWithConsensusTree(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	t1, _ := tree.ParseNewick("((a,b),c,(d,(e,f)));", names)
+	t2, _ := tree.ParseNewick("((a,c),b,(d,(e,f)));", names)
+	res, err := tree.MajorityRule([]*tree.Tree{t1, t2}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScene([]*tree.Tree{res.Tree}, []string{"consensus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := sc.SVG(SVGOptions{Width: 500, LeafLabels: true})
+	if !strings.Contains(svg, "consensus") || strings.Count(svg, "<line") == 0 {
+		t.Error("consensus scene incomplete")
+	}
+}
