@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# Tier-1 gate: everything that must pass before a change lands.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race detector over the concurrency-bearing packages (parallel runtime
+# and message passing).
+race:
+	$(GO) test -race ./internal/comm/... ./internal/mlsearch/...
+
+bench:
+	$(GO) test -run XXX -bench . -benchmem .

@@ -388,6 +388,153 @@ func BenchmarkSynthesize(b *testing.B) {
 	}
 }
 
+// --- Incremental evaluation (CLV cache) ----------------------------------
+
+// BenchmarkDownPartialCached measures a full-tree likelihood evaluation
+// with the CLV cache cold (every vector recomputed, the pre-cache cost)
+// versus warm after a single local branch edit (only the dirty spine
+// recomputed).
+func BenchmarkDownPartialCached(b *testing.B) {
+	ds, err := simulate.New(simulate.Options{Taxa: 50, Sites: 1858, Seed: 3, GammaAlpha: 0.6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat, err := seq.Compress(ds.Alignment, seq.CompressOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := mlsearch.NewDefaultModel(pat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := likelihood.New(m, pat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := ds.TrueTree
+	leaf := tr.LeafByTaxon(0)
+	ed := tree.Edge{A: leaf, B: leaf.Nbr[0]}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.InvalidateAll()
+			if _, err := eng.LogLikelihood(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-local-edit", func(b *testing.B) {
+		if _, err := eng.LogLikelihood(tr); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tree.SetLen(ed.A, ed.B, 0.1+0.01*float64(i%2))
+			if _, err := eng.LogLikelihood(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRoundAddCandidates measures one complete stepwise-addition
+// round at 41 taxa: score inserting the last taxon at each of the 77
+// edges of a 40-taxon base tree. Shared-base evaluation computes the base
+// tree's directed partials once and scores each candidate in O(patterns),
+// where the seed rebuilt and re-pruned every candidate tree from scratch
+// (ops/candidate is the acceptance metric; see EXPERIMENTS.md).
+func BenchmarkRoundAddCandidates(b *testing.B) {
+	ds, err := simulate.New(simulate.Options{Taxa: 41, Sites: 500, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat, err := seq.Compress(ds.Alignment, seq.CompressOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := mlsearch.NewDefaultModel(pat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := likelihood.New(m, pat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := ds.TrueTree.Clone()
+	if err := base.RemoveLeaf(40); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.OptimizeBranches(base, likelihood.OptOptions{Passes: 2}); err != nil {
+		b.Fatal(err)
+	}
+	nwk := base.Newick()
+	parsed, err := tree.ParseNewick(nwk, ds.Alignment.Names)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := parsed.InsertionEdges()
+	tasks := make([]mlsearch.Task, 0, len(edges))
+	for k := range edges {
+		tasks = append(tasks, mlsearch.Task{
+			ID: uint64(k + 1), Round: 1, BaseNewick: nwk, LocalTaxon: 40,
+			InsertEdge: int32(k), Passes: 2,
+			MoveP: -1, MoveS: -1, MoveTA: -1, MoveTB: -1,
+		})
+	}
+	ev := mlsearch.NewEvaluator(eng, ds.Alignment.Names)
+	var roundOps uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Each iteration is one full round from a cold cache, including
+		// the base tree's one-time partials.
+		eng.InvalidateAll()
+		eng.ResetOps()
+		for _, t := range tasks {
+			if _, err := ev.Evaluate(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+		roundOps = eng.Ops()
+	}
+	b.ReportMetric(float64(len(tasks)), "candidates")
+	b.ReportMetric(float64(roundOps), "ops_round")
+	b.ReportMetric(float64(roundOps)/float64(len(tasks)), "ops_candidate")
+}
+
+// BenchmarkNewtonEdge measures single-edge Newton branch optimization on
+// a warm cache: the directed partials of the edge are cache hits (they do
+// not depend on the edge's own length), so the cost is the Newton
+// iteration itself.
+func BenchmarkNewtonEdge(b *testing.B) {
+	ds, err := simulate.New(simulate.Options{Taxa: 30, Sites: 800, Seed: 13})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat, err := seq.Compress(ds.Alignment, seq.CompressOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := mlsearch.NewDefaultModel(pat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := likelihood.New(m, pat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := ds.TrueTree
+	ed := tr.InternalEdges()[0]
+	if _, err := eng.LogLikelihood(tr); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.SetLen(ed.A, ed.B, 0.05)
+		if _, err := eng.OptimizeEdge(tr, ed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSpeculativeAblation runs the study the paper planned (§3.2):
 // speculative evaluation on vs off at 64 processors.
 func BenchmarkSpeculativeAblation(b *testing.B) {

@@ -1,0 +1,192 @@
+package likelihood
+
+import "repro/internal/tree"
+
+// CLV cache: memoized conditional likelihood vectors per directed edge.
+//
+// partial(n, parent) — the likelihood of the subtree at n seen from
+// parent — is a pure function of the subtree topology and its branch
+// lengths. The cache stores one entry per directed edge and validates it
+// structurally on every lookup: the entry remembers which node object it
+// was computed for (pointer identity, so a recycled node ID cannot alias
+// a stale entry), that node's edge-revision counter at fill time, and the
+// child entries it combined, identified by (node pointer, generation).
+// Generations are globally monotonic and bumped whenever an entry is
+// refilled, so a hit at node n proves transitively that every CLV below n
+// is unchanged — without timestamps or explicit dependency edges.
+//
+// Invalidation is therefore mostly automatic: tree.SetLen and topology
+// edits bump the endpoint revisions and the next lookup misses. The
+// explicit InvalidateEdge/InvalidateAll entry points exist for callers
+// that mutate branch lengths behind the tree package's back.
+//
+// Cache hits perform zero pattern-level work and add nothing to the ops
+// counter; only refills count, keeping the work-unit accounting that the
+// cluster simulator consumes honest.
+
+// tipGen is the generation reported for leaf tips. Tip vectors are
+// constant, so a single reserved generation below every entry generation
+// suffices; nextGen starts above it.
+const tipGen uint64 = 1
+
+// EngineStats counts cache behaviour since the last ResetStats.
+type EngineStats struct {
+	// Hits counts partial() lookups served from a valid cache entry.
+	Hits uint64
+	// Misses counts lookups that found no valid entry.
+	Misses uint64
+	// Recomputed counts CLV refills; equal to Misses today but kept
+	// separate so future prefill paths can recompute without a lookup.
+	Recomputed uint64
+	// Invalidated counts entries explicitly marked stale via
+	// InvalidateEdge.
+	Invalidated uint64
+	// Flushes counts InvalidateAll calls.
+	Flushes uint64
+	// Entries is the number of cache entries currently allocated
+	// (filled or not); a gauge, not a counter.
+	Entries int
+}
+
+// kidRef records one child combined into an entry: which node, the
+// generation of its CLV at combine time, and (during a fill) the vectors
+// and branch length to combine.
+type kidRef struct {
+	node *tree.Node
+	gen  uint64
+	clv  []float64
+	sc   []int32
+	z    float64
+}
+
+// clvEntry caches the CLV of one directed edge (node seen from parent).
+type clvEntry struct {
+	node    *tree.Node
+	parent  *tree.Node
+	nodeRev uint64
+	kids    []kidRef // children validated at fill time (clv/sc not retained)
+	gen     uint64
+	filled  bool
+	clv     []float64
+	scale   []int32
+	tmp     []kidRef // per-traversal scratch, reused
+}
+
+// clvCache indexes entries by node ID (small per-node lists, at most one
+// per live direction plus transients from released-and-reused IDs).
+type clvCache struct {
+	byNode [][]*clvEntry
+	gen    uint64
+}
+
+func (c *clvCache) nextGen() uint64 {
+	if c.gen < tipGen {
+		c.gen = tipGen
+	}
+	c.gen++
+	return c.gen
+}
+
+func (c *clvCache) grow(n int) {
+	for len(c.byNode) < n {
+		c.byNode = append(c.byNode, nil)
+	}
+}
+
+// entryFor returns the entry for directed edge (n seen from parent),
+// creating or recycling one as needed. The returned entry is not
+// necessarily valid; partial() decides that.
+func (c *clvCache) entryFor(n, parent *tree.Node) *clvEntry {
+	c.grow(n.ID + 1)
+	var reuse *clvEntry
+	for _, ent := range c.byNode[n.ID] {
+		if ent.node == n && ent.parent == parent {
+			return ent
+		}
+		// Entries for a node object that no longer owns this ID, or for
+		// a direction that no longer exists, are recycled in place so the
+		// per-ID lists stay bounded across tree edits.
+		if reuse == nil && (ent.node != n || n.NbrIndex(ent.parent) < 0) {
+			reuse = ent
+		}
+	}
+	if reuse != nil {
+		reuse.node, reuse.parent = n, parent
+		reuse.filled = false
+		return reuse
+	}
+	ent := &clvEntry{node: n, parent: parent}
+	c.byNode[n.ID] = append(c.byNode[n.ID], ent)
+	return ent
+}
+
+// peek returns the entry for (n, parent) without creating one.
+func (c *clvCache) peek(n, parent *tree.Node) *clvEntry {
+	if n.ID >= len(c.byNode) {
+		return nil
+	}
+	for _, ent := range c.byNode[n.ID] {
+		if ent.node == n && ent.parent == parent {
+			return ent
+		}
+	}
+	return nil
+}
+
+// Stats returns the counters since the last ResetStats plus the current
+// entry gauge.
+func (e *Engine) Stats() EngineStats {
+	s := e.stats
+	for _, list := range e.cache.byNode {
+		s.Entries += len(list)
+	}
+	return s
+}
+
+// Snapshot is an alias for Stats, matching the Invalidate/Snapshot API
+// naming used by callers that pair a stats snapshot with invalidation.
+func (e *Engine) Snapshot() EngineStats { return e.Stats() }
+
+// ResetStats zeroes the cache counters and returns the previous values.
+// The cache contents are untouched.
+func (e *Engine) ResetStats() EngineStats {
+	s := e.Stats()
+	e.stats = EngineStats{}
+	return s
+}
+
+// InvalidateAll marks every cached CLV stale. Entry buffers are kept for
+// reuse.
+func (e *Engine) InvalidateAll() {
+	for _, list := range e.cache.byNode {
+		for _, ent := range list {
+			ent.filled = false
+		}
+	}
+	e.stats.Flushes++
+}
+
+// InvalidateEdge marks stale every cached CLV whose value depends on the
+// length of edge (a, b): on each side of the edge, all directions
+// pointing away from it. The two CLVs (a seen from b) and (b seen from a)
+// do not depend on the edge's own length and stay valid. Use this after
+// mutating branch lengths directly instead of through tree.SetLen.
+func (e *Engine) InvalidateEdge(a, b *tree.Node) {
+	e.invalAway(a, b)
+	e.invalAway(b, a)
+}
+
+// invalAway walks outward from x (not crossing back toward `from`),
+// marking every directed entry that looks across x toward `from`'s side.
+func (e *Engine) invalAway(x, from *tree.Node) {
+	for _, nb := range x.Nbr {
+		if nb == from {
+			continue
+		}
+		if ent := e.cache.peek(x, nb); ent != nil && ent.filled {
+			ent.filled = false
+			e.stats.Invalidated++
+		}
+		e.invalAway(nb, x)
+	}
+}

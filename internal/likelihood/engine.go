@@ -5,11 +5,19 @@
 // likelihoods to prevent floating point underflow on large trees (paper
 // §2.1), and Newton-Raphson branch length optimization with analytic
 // first and second derivatives (DNAml's makenewz).
+//
+// Evaluation is incremental: conditional likelihood vectors are memoized
+// per directed edge (see cache.go), so repeated evaluations of the same
+// or a locally-edited tree only recompute the vectors whose subtree or
+// incident branch lengths changed. Patterns are permuted at construction
+// into contiguous rate-class blocks so the inner loops hoist the
+// transition-matrix lookup out of the per-pattern loop.
 package likelihood
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/model"
 	"repro/internal/seq"
@@ -42,6 +50,13 @@ const (
 	newtonTol = 1e-7
 )
 
+// classBlock is a contiguous run of (permuted) patterns sharing one rate
+// class, so kernels look the transition matrix up once per block.
+type classBlock struct {
+	ci     int // rate class index
+	lo, hi int // permuted pattern index range [lo, hi)
+}
+
 // Engine computes log-likelihoods of trees over one fixed data set and
 // model. An Engine is not safe for concurrent use; each worker owns one.
 type Engine struct {
@@ -51,28 +66,32 @@ type Engine struct {
 	freqs  seq.BaseFreqs
 	decomp *model.Decomposition
 
-	// rate classes: distinct per-pattern rates.
+	// rate classes: distinct per-pattern rates, patterns permuted into
+	// contiguous class blocks. perm maps internal (permuted) pattern
+	// index to the original index in pat; weights/tips are permuted.
 	classRates []float64
-	classOf    []int // pattern -> class
+	blocks     []classBlock
+	perm       []int
+	weights    []float64
+	npat       int
 
-	// tip conditional likelihoods per taxon: flat [pattern*4+base],
-	// 1 when the observed code is compatible with the base.
-	tips [][]float64
-
-	// per-node buffers indexed by node ID; grown on demand.
-	clv   [][]float64
-	scale [][]int32
+	// tip conditional likelihoods per taxon: flat [pattern*4+base] in
+	// permuted pattern order, 1 when the observed code is compatible
+	// with the base. zeroScale is the shared all-zero scale vector tips
+	// report (tips never underflow).
+	tips      [][]float64
+	zeroScale []int32
 
 	// scratch transition matrices, one per rate class.
 	pmat, dmat, ddmat []model.PMatrix
 
-	// rest-of-tree partial buffers used by the smoothing pass, keyed by
-	// node ID and reused across passes.
-	restClv   map[int][]float64
-	restScale map[int][]int32
+	// cache memoizes directed-edge CLVs; stats counts its behaviour.
+	cache clvCache
+	stats EngineStats
 
 	// ops counts pattern-level inner-loop operations, the work-unit
-	// measure consumed by the cluster simulator's cost model.
+	// measure consumed by the cluster simulator's cost model. Cache hits
+	// add nothing: only recomputed vectors count.
 	ops uint64
 }
 
@@ -86,10 +105,11 @@ func New(m model.Model, p *seq.Patterns) (*Engine, error) {
 		pat:    p,
 		freqs:  m.Freqs(),
 		decomp: m.Decomposition(),
+		npat:   p.NumPatterns(),
 	}
 	// Group patterns into rate classes.
 	classIdx := make(map[float64]int)
-	e.classOf = make([]int, p.NumPatterns())
+	classOf := make([]int, e.npat)
 	for i, r := range p.Rates {
 		ci, ok := classIdx[r]
 		if !ok {
@@ -97,17 +117,39 @@ func New(m model.Model, p *seq.Patterns) (*Engine, error) {
 			classIdx[r] = ci
 			e.classRates = append(e.classRates, r)
 		}
-		e.classOf[i] = ci
+		classOf[i] = ci
 	}
 	e.pmat = make([]model.PMatrix, len(e.classRates))
 	e.dmat = make([]model.PMatrix, len(e.classRates))
 	e.ddmat = make([]model.PMatrix, len(e.classRates))
 
-	// Tip vectors.
+	// Permute patterns so each rate class is one contiguous block; the
+	// stable sort keeps the original relative order within a class.
+	e.perm = make([]int, e.npat)
+	for i := range e.perm {
+		e.perm[i] = i
+	}
+	sort.SliceStable(e.perm, func(i, j int) bool {
+		return classOf[e.perm[i]] < classOf[e.perm[j]]
+	})
+	e.weights = make([]float64, e.npat)
+	for s, orig := range e.perm {
+		e.weights[s] = p.Weights[orig]
+	}
+	lo := 0
+	for s := 1; s <= e.npat; s++ {
+		if s == e.npat || classOf[e.perm[s]] != classOf[e.perm[lo]] {
+			e.blocks = append(e.blocks, classBlock{ci: classOf[e.perm[lo]], lo: lo, hi: s})
+			lo = s
+		}
+	}
+
+	// Tip vectors, in permuted pattern order.
 	e.tips = make([][]float64, p.NumSeqs())
 	for taxon := 0; taxon < p.NumSeqs(); taxon++ {
-		v := make([]float64, p.NumPatterns()*4)
-		for s, c := range p.Codes[taxon] {
+		v := make([]float64, e.npat*4)
+		for s := 0; s < e.npat; s++ {
+			c := p.Codes[taxon][e.perm[s]]
 			for b := 0; b < 4; b++ {
 				if c&(1<<uint(b)) != 0 {
 					v[s*4+b] = 1
@@ -116,6 +158,7 @@ func New(m model.Model, p *seq.Patterns) (*Engine, error) {
 		}
 		e.tips[taxon] = v
 	}
+	e.zeroScale = make([]int32, e.npat)
 	return e, nil
 }
 
@@ -135,20 +178,9 @@ func (e *Engine) ResetOps() uint64 {
 	return v
 }
 
-// ensureBuffers sizes the per-node buffers for node IDs < n.
+// ensureBuffers sizes the cache's per-node index for node IDs < n.
 func (e *Engine) ensureBuffers(n int) {
-	for len(e.clv) < n {
-		e.clv = append(e.clv, nil)
-		e.scale = append(e.scale, nil)
-	}
-}
-
-func (e *Engine) nodeBuf(id int) ([]float64, []int32) {
-	if e.clv[id] == nil {
-		e.clv[id] = make([]float64, e.pat.NumPatterns()*4)
-		e.scale[id] = make([]int32, e.pat.NumPatterns())
-	}
-	return e.clv[id], e.scale[id]
+	e.cache.grow(n)
 }
 
 // fillProbs computes the per-class transition matrices for branch length z.
@@ -176,104 +208,41 @@ func clampLen(z float64) float64 {
 	return z
 }
 
-// downPartial computes the conditional likelihood vector of the subtree at
-// n seen from parent (the "down" view of directed edge parent->n),
-// recursing into n's other neighbors. The result lands in n's buffer.
-// Tips are copied from the precomputed tip vectors (scale zero).
-func (e *Engine) downPartial(n, parent *tree.Node) ([]float64, []int32) {
-	npat := e.pat.NumPatterns()
-	clv, sc := e.nodeBuf(n.ID)
-	if n.Leaf() {
-		copy(clv, e.tips[n.Taxon])
-		for i := range sc {
-			sc[i] = 0
-		}
-		return clv, sc
-	}
-
-	first := true
-	for i, child := range n.Nbr {
-		if child == parent {
-			continue
-		}
-		cclv, csc := e.downPartial(child, n)
-		e.fillProbs(clampLen(n.Len[i]))
-		e.ops += uint64(npat) * 16
-		if first {
-			for p := 0; p < npat; p++ {
-				pm := &e.pmat[e.classOf[p]]
-				c0, c1, c2, c3 := cclv[p*4], cclv[p*4+1], cclv[p*4+2], cclv[p*4+3]
+// combineInto multiplies (or, when first, assigns) P(z)·src into dst for
+// every pattern, accumulating scale counts. One call is one child-edge
+// combine of Felsenstein pruning: 16 pattern-level ops per pattern.
+func (e *Engine) combineInto(dst []float64, dsc []int32, src []float64, ssc []int32, z float64, first bool) {
+	e.fillProbs(clampLen(z))
+	e.ops += uint64(e.npat) * 16
+	if first {
+		for _, blk := range e.blocks {
+			pm := &e.pmat[blk.ci]
+			for p := blk.lo; p < blk.hi; p++ {
+				c0, c1, c2, c3 := src[p*4], src[p*4+1], src[p*4+2], src[p*4+3]
 				for j := 0; j < 4; j++ {
-					clv[p*4+j] = pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
+					dst[p*4+j] = pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
 				}
-				sc[p] = csc[p]
-			}
-			first = false
-		} else {
-			for p := 0; p < npat; p++ {
-				pm := &e.pmat[e.classOf[p]]
-				c0, c1, c2, c3 := cclv[p*4], cclv[p*4+1], cclv[p*4+2], cclv[p*4+3]
-				for j := 0; j < 4; j++ {
-					clv[p*4+j] *= pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
-				}
-				sc[p] += csc[p]
+				dsc[p] = ssc[p]
 			}
 		}
+		return
 	}
-
-	// Underflow protection (paper §2.1): rescale tiny pattern vectors.
-	for p := 0; p < npat; p++ {
-		m := clv[p*4]
-		for j := 1; j < 4; j++ {
-			if clv[p*4+j] > m {
-				m = clv[p*4+j]
-			}
-		}
-		if m < scaleThreshold && m > 0 {
+	for _, blk := range e.blocks {
+		pm := &e.pmat[blk.ci]
+		for p := blk.lo; p < blk.hi; p++ {
+			c0, c1, c2, c3 := src[p*4], src[p*4+1], src[p*4+2], src[p*4+3]
 			for j := 0; j < 4; j++ {
-				clv[p*4+j] *= scaleFactor
+				dst[p*4+j] *= pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
 			}
-			sc[p]++
+			dsc[p] += ssc[p]
 		}
 	}
-	return clv, sc
 }
 
-// refreshNode recomputes n's down partial (as seen from parent) from its
-// children's currently stored buffers, without recursing.
-func (e *Engine) refreshNode(n, parent *tree.Node) {
-	npat := e.pat.NumPatterns()
-	clv, sc := e.nodeBuf(n.ID)
-	first := true
-	for i, child := range n.Nbr {
-		if child == parent {
-			continue
-		}
-		cclv, csc := e.nodeBuf(child.ID)
-		e.fillProbs(clampLen(n.Len[i]))
-		e.ops += uint64(npat) * 16
-		if first {
-			for p := 0; p < npat; p++ {
-				pm := &e.pmat[e.classOf[p]]
-				c0, c1, c2, c3 := cclv[p*4], cclv[p*4+1], cclv[p*4+2], cclv[p*4+3]
-				for j := 0; j < 4; j++ {
-					clv[p*4+j] = pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
-				}
-				sc[p] = csc[p]
-			}
-			first = false
-		} else {
-			for p := 0; p < npat; p++ {
-				pm := &e.pmat[e.classOf[p]]
-				c0, c1, c2, c3 := cclv[p*4], cclv[p*4+1], cclv[p*4+2], cclv[p*4+3]
-				for j := 0; j < 4; j++ {
-					clv[p*4+j] *= pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
-				}
-				sc[p] += csc[p]
-			}
-		}
-	}
-	for p := 0; p < npat; p++ {
+// rescale applies underflow protection (paper §2.1) to a CLV in place:
+// tiny pattern vectors are multiplied up and the event counted.
+func (e *Engine) rescale(clv []float64, sc []int32) {
+	for p := 0; p < e.npat; p++ {
 		m := clv[p*4]
 		for j := 1; j < 4; j++ {
 			if clv[p*4+j] > m {
@@ -287,34 +256,114 @@ func (e *Engine) refreshNode(n, parent *tree.Node) {
 			sc[p]++
 		}
 	}
+}
+
+// partial returns the conditional likelihood vector of the subtree at n
+// seen from parent (the "down" view of directed edge parent->n), its
+// scale counts, and its cache generation. Results come from the CLV cache
+// when the subtree is unchanged; only stale vectors are recombined. The
+// returned slices are owned by the cache and valid until the next fill of
+// the same directed edge.
+func (e *Engine) partial(n, parent *tree.Node) ([]float64, []int32, uint64) {
+	if n.Leaf() {
+		return e.tips[n.Taxon], e.zeroScale, tipGen
+	}
+	ent := e.cache.entryFor(n, parent)
+	valid := ent.filled && ent.nodeRev == n.Rev()
+
+	// Recurse into the children first (pure pointer walk on the hit
+	// path) and compare against the entry's recorded children. Children
+	// are combined in node-ID order, not Nbr order: topology edits can
+	// permute Nbr lists, and keying the floating-point combine order to
+	// node identity keeps results bit-identical across edit histories
+	// (the serial-equals-parallel guarantee).
+	tmp := ent.tmp[:0]
+	for i, child := range n.Nbr {
+		if child == parent {
+			continue
+		}
+		cclv, csc, cgen := e.partial(child, n)
+		tmp = append(tmp, kidRef{node: child, gen: cgen, clv: cclv, sc: csc, z: n.Len[i]})
+	}
+	for i := 1; i < len(tmp); i++ {
+		for j := i; j > 0 && tmp[j].node.ID < tmp[j-1].node.ID; j-- {
+			tmp[j], tmp[j-1] = tmp[j-1], tmp[j]
+		}
+	}
+	ent.tmp = tmp
+	if valid && len(tmp) == len(ent.kids) {
+		for i := range tmp {
+			if ent.kids[i].node != tmp[i].node || ent.kids[i].gen != tmp[i].gen {
+				valid = false
+				break
+			}
+		}
+	} else {
+		valid = false
+	}
+	if valid {
+		e.stats.Hits++
+		return ent.clv, ent.scale, ent.gen
+	}
+	e.stats.Misses++
+	e.stats.Recomputed++
+
+	if ent.clv == nil {
+		ent.clv = make([]float64, e.npat*4)
+		ent.scale = make([]int32, e.npat)
+	}
+	for i := range tmp {
+		e.combineInto(ent.clv, ent.scale, tmp[i].clv, tmp[i].sc, tmp[i].z, i == 0)
+	}
+	e.rescale(ent.clv, ent.scale)
+
+	ent.nodeRev = n.Rev()
+	ent.kids = ent.kids[:0]
+	for i := range tmp {
+		// Retain only the identity fields; the vector slices would pin
+		// child buffers for no benefit.
+		ent.kids = append(ent.kids, kidRef{node: tmp[i].node, gen: tmp[i].gen})
+	}
+	ent.gen = e.cache.nextGen()
+	ent.filled = true
+	return ent.clv, ent.scale, ent.gen
+}
+
+// downPartial is the uncached-era name for partial, kept for in-package
+// tests; it returns the (possibly cached) directed-edge CLV.
+func (e *Engine) downPartial(n, parent *tree.Node) ([]float64, []int32) {
+	clv, sc, _ := e.partial(n, parent)
+	return clv, sc
 }
 
 // edgeLogLikelihood combines the two directed partials of edge (a,b) at
 // branch length z into the total log-likelihood.
 func (e *Engine) edgeLogLikelihood(aclv []float64, asc []int32, bclv []float64, bsc []int32, z float64) float64 {
-	npat := e.pat.NumPatterns()
 	e.fillProbs(clampLen(z))
-	e.ops += uint64(npat) * 20
+	e.ops += uint64(e.npat) * 20
 	total := 0.0
-	for p := 0; p < npat; p++ {
-		pm := &e.pmat[e.classOf[p]]
-		b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
-		lkl := 0.0
-		for i := 0; i < 4; i++ {
-			lkl += e.freqs[i] * aclv[p*4+i] *
-				(pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
+	for _, blk := range e.blocks {
+		pm := &e.pmat[blk.ci]
+		for p := blk.lo; p < blk.hi; p++ {
+			b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
+			lkl := 0.0
+			for i := 0; i < 4; i++ {
+				lkl += e.freqs[i] * aclv[p*4+i] *
+					(pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
+			}
+			if lkl <= 0 {
+				lkl = math.SmallestNonzeroFloat64
+			}
+			total += e.weights[p] * (math.Log(lkl) - float64(asc[p]+bsc[p])*logScale)
 		}
-		if lkl <= 0 {
-			lkl = math.SmallestNonzeroFloat64
-		}
-		total += e.pat.Weights[p] * (math.Log(lkl) - float64(asc[p]+bsc[p])*logScale)
 	}
 	return total
 }
 
 // LogLikelihood evaluates the tree's log-likelihood without changing any
 // branch length. The tree must contain at least two leaves whose taxa are
-// covered by the data set.
+// covered by the data set. Evaluation is incremental: only conditional
+// likelihood vectors invalidated since the previous call are recomputed.
 func (e *Engine) LogLikelihood(t *tree.Tree) (float64, error) {
 	if err := e.checkTree(t); err != nil {
 		return 0, err
@@ -326,13 +375,14 @@ func (e *Engine) LogLikelihood(t *tree.Tree) (float64, error) {
 		return 0, fmt.Errorf("likelihood: tree has no edges")
 	}
 	ed := edges[0]
-	aclv, asc := e.downPartial(ed.A, ed.B)
-	bclv, bsc := e.downPartial(ed.B, ed.A)
+	aclv, asc, _ := e.partial(ed.A, ed.B)
+	bclv, bsc, _ := e.partial(ed.B, ed.A)
 	return e.edgeLogLikelihood(aclv, asc, bclv, bsc, ed.Length()), nil
 }
 
 // SiteLogLikelihoods returns the per-pattern log-likelihoods of the tree
-// (weights not applied), used by DNArates-style per-site estimation.
+// (weights not applied) in the original pattern order of Patterns(), used
+// by DNArates-style per-site estimation.
 func (e *Engine) SiteLogLikelihoods(t *tree.Tree) ([]float64, error) {
 	if err := e.checkTree(t); err != nil {
 		return nil, err
@@ -343,23 +393,24 @@ func (e *Engine) SiteLogLikelihoods(t *tree.Tree) ([]float64, error) {
 		return nil, fmt.Errorf("likelihood: tree has no edges")
 	}
 	ed := edges[0]
-	aclv, asc := e.downPartial(ed.A, ed.B)
-	bclv, bsc := e.downPartial(ed.B, ed.A)
-	npat := e.pat.NumPatterns()
+	aclv, asc, _ := e.partial(ed.A, ed.B)
+	bclv, bsc, _ := e.partial(ed.B, ed.A)
 	e.fillProbs(clampLen(ed.Length()))
-	out := make([]float64, npat)
-	for p := 0; p < npat; p++ {
-		pm := &e.pmat[e.classOf[p]]
-		b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
-		lkl := 0.0
-		for i := 0; i < 4; i++ {
-			lkl += e.freqs[i] * aclv[p*4+i] *
-				(pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
+	out := make([]float64, e.npat)
+	for _, blk := range e.blocks {
+		pm := &e.pmat[blk.ci]
+		for p := blk.lo; p < blk.hi; p++ {
+			b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
+			lkl := 0.0
+			for i := 0; i < 4; i++ {
+				lkl += e.freqs[i] * aclv[p*4+i] *
+					(pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
+			}
+			if lkl <= 0 {
+				lkl = math.SmallestNonzeroFloat64
+			}
+			out[e.perm[p]] = math.Log(lkl) - float64(asc[p]+bsc[p])*logScale
 		}
-		if lkl <= 0 {
-			lkl = math.SmallestNonzeroFloat64
-		}
-		out[p] = math.Log(lkl) - float64(asc[p]+bsc[p])*logScale
 	}
 	return out, nil
 }

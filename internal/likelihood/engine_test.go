@@ -444,7 +444,7 @@ func TestEdgeDerivativesFiniteDifference(t *testing.T) {
 	z := 0.13
 	const h = 1e-6
 	f := func(z float64) float64 { return e.edgeLogLikelihood(ac, as, bclv, bsc, z) }
-	d1, d2 := e.edgeDerivatives(ac, bclv, z)
+	d1, d2, lnl := e.edgeDerivatives(ac, as, bclv, bsc, z)
 	fd1 := (f(z+h) - f(z-h)) / (2 * h)
 	fd2 := (f(z+h) - 2*f(z) + f(z-h)) / (h * h)
 	if math.Abs(d1-fd1) > 1e-4*(1+math.Abs(fd1)) {
@@ -452,6 +452,9 @@ func TestEdgeDerivativesFiniteDifference(t *testing.T) {
 	}
 	if math.Abs(d2-fd2) > 1e-2*(1+math.Abs(fd2)) {
 		t.Errorf("d2 = %g, finite difference %g", d2, fd2)
+	}
+	if math.Abs(lnl-f(z)) > 1e-9*(1+math.Abs(f(z))) {
+		t.Errorf("edgeDerivatives lnL = %g, edgeLogLikelihood %g", lnl, f(z))
 	}
 }
 

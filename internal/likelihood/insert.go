@@ -1,0 +1,113 @@
+package likelihood
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// Shared-base-tree insertion scoring (paper step 3): a stepwise-addition
+// round tries the new taxon on every edge of the same base tree. Instead
+// of building each candidate tree and re-running full pruning passes over
+// it, an InsertScorer evaluates a candidate entirely at its insertion
+// edge: the two directed partials of the edge come from the CLV cache
+// (computed once per base tree, shared by every candidate), and the new
+// leaf's junction is optimized by combining those two vectors with the
+// leaf's tip vector — O(patterns) work per candidate instead of
+// O(nodes · patterns).
+
+// InsertScore reports one scored candidate insertion: the log-likelihood
+// of the candidate tree and the optimized lengths of the three branches
+// meeting at the new junction.
+type InsertScore struct {
+	LnL float64
+	// LenA and LenB are the optimized lengths from the junction toward
+	// the insertion edge's A and B endpoints; LenLeaf toward the new
+	// leaf.
+	LenA, LenB, LenLeaf float64
+}
+
+// InsertScorer scores candidate insertions of one taxon into one base
+// tree. It is bound to the engine that created it and is not safe for
+// concurrent use. The base tree must not be mutated between Score calls.
+type InsertScorer struct {
+	e     *Engine
+	t     *tree.Tree
+	taxon int
+
+	// junction and rest-of-junction scratch vectors, reused per call.
+	jclv, rest  []float64
+	jsc, restSc []int32
+}
+
+// NewInsertScorer prepares scoring of candidate insertions of taxon into
+// base. The taxon must be covered by the data set and absent from base.
+func (e *Engine) NewInsertScorer(base *tree.Tree, taxon int) (*InsertScorer, error) {
+	if err := e.checkTree(base); err != nil {
+		return nil, err
+	}
+	if taxon < 0 || taxon >= e.pat.NumSeqs() {
+		return nil, fmt.Errorf("likelihood: insert taxon %d outside data set", taxon)
+	}
+	if base.LeafByTaxon(taxon) != nil {
+		return nil, fmt.Errorf("likelihood: taxon %d already in base tree", taxon)
+	}
+	e.ensureBuffers(base.MaxID())
+	return &InsertScorer{
+		e: e, t: base, taxon: taxon,
+		jclv: make([]float64, e.npat*4), jsc: make([]int32, e.npat),
+		rest: make([]float64, e.npat*4), restSc: make([]int32, e.npat),
+	}, nil
+}
+
+// Score evaluates inserting the taxon on edge ed of the base tree,
+// mirroring tree.InsertLeaf's starting geometry (the edge length split in
+// half, the leaf branch at DefaultBranchLength) and then Newton-optimizing
+// the three junction branches for the given number of passes (minimum 1).
+// The base tree is not modified.
+func (s *InsertScorer) Score(ed tree.Edge, passes int) (InsertScore, error) {
+	a, b := ed.A, ed.B
+	if a.NbrIndex(b) < 0 {
+		return InsertScore{}, fmt.Errorf("likelihood: insertion edge %d-%d does not exist", a.ID, b.ID)
+	}
+	if passes <= 0 {
+		passes = 1
+	}
+	e := s.e
+	half := ed.Length() / 2
+	if half <= 0 {
+		half = tree.DefaultBranchLength / 2
+	}
+	za, zb, zl := half, half, tree.DefaultBranchLength
+
+	aclv, asc, _ := e.partial(a, b)
+	bclv, bsc, _ := e.partial(b, a)
+	tip := e.tips[s.taxon]
+
+	for pass := 0; pass < passes; pass++ {
+		// Leaf branch against the junction of both edge sides.
+		e.combineInto(s.jclv, s.jsc, aclv, asc, za, true)
+		e.combineInto(s.jclv, s.jsc, bclv, bsc, zb, false)
+		e.rescale(s.jclv, s.jsc)
+		zl = e.newtonEdge(s.jclv, s.jsc, tip, e.zeroScale, zl)
+
+		// Branch toward A against the junction of B-side and leaf.
+		e.combineInto(s.rest, s.restSc, bclv, bsc, zb, true)
+		e.combineInto(s.rest, s.restSc, tip, e.zeroScale, zl, false)
+		e.rescale(s.rest, s.restSc)
+		za = e.newtonEdge(aclv, asc, s.rest, s.restSc, za)
+
+		// Branch toward B against the junction of A-side and leaf.
+		e.combineInto(s.rest, s.restSc, aclv, asc, za, true)
+		e.combineInto(s.rest, s.restSc, tip, e.zeroScale, zl, false)
+		e.rescale(s.rest, s.restSc)
+		zb = e.newtonEdge(bclv, bsc, s.rest, s.restSc, zb)
+	}
+
+	// Final likelihood across the junction-leaf branch.
+	e.combineInto(s.jclv, s.jsc, aclv, asc, za, true)
+	e.combineInto(s.jclv, s.jsc, bclv, bsc, zb, false)
+	e.rescale(s.jclv, s.jsc)
+	lnL := e.edgeLogLikelihood(s.jclv, s.jsc, tip, e.zeroScale, zl)
+	return InsertScore{LnL: lnL, LenA: za, LenB: zb, LenLeaf: zl}, nil
+}

@@ -13,6 +13,12 @@ import (
 // z-derivatives are closed-form (spectral decomposition), so Newton's
 // method applies directly, with bisection-style fallbacks and the
 // [MinBranchLength, MaxBranchLength] bounds.
+//
+// The smoothing pass draws both directed partials of each visited edge
+// from the CLV cache: the "rest of tree" vector at (p seen from u) is
+// just the directed partial in the opposite direction, so no separate
+// rest-buffer machinery is needed and untouched regions of the tree cost
+// nothing to revisit.
 
 // OptOptions control branch length optimization.
 type OptOptions struct {
@@ -28,8 +34,13 @@ type OptOptions struct {
 	// branches near the new taxon before the full smoothing of the
 	// round's best tree.
 	Around *tree.Node
-	// Radius is the vertex distance bound used with Around; 1 selects
-	// only the branches incident to Around. Default 1.
+	// Centers optionally lists several centers; the optimized region is
+	// the union of the Radius-neighborhoods of all of them (and of
+	// Around when also set). Rearrangement scoring uses this to smooth
+	// both the regraft junction and the prune site.
+	Centers []*tree.Node
+	// Radius is the vertex distance bound used with Around/Centers; 1
+	// selects only the incident branches. Default 1.
 	Radius int
 }
 
@@ -47,8 +58,8 @@ func (o OptOptions) withDefaults() OptOptions {
 }
 
 // OptimizeBranches optimizes branch lengths in place and returns the final
-// log-likelihood. With Around set, only nearby branches are optimized but
-// the returned value is still the full-tree log-likelihood.
+// log-likelihood. With Around/Centers set, only nearby branches are
+// optimized but the returned value is still the full-tree log-likelihood.
 func (e *Engine) OptimizeBranches(t *tree.Tree, opt OptOptions) (float64, error) {
 	opt = opt.withDefaults()
 	if err := e.checkTree(t); err != nil {
@@ -57,8 +68,16 @@ func (e *Engine) OptimizeBranches(t *tree.Tree, opt OptOptions) (float64, error)
 	e.ensureBuffers(t.MaxID())
 
 	var allowed map[[2]int]bool
-	if opt.Around != nil {
-		allowed = edgeSetAround(opt.Around, opt.Radius)
+	if opt.Around != nil || len(opt.Centers) > 0 {
+		allowed = make(map[[2]int]bool)
+		if opt.Around != nil {
+			edgeSetAround(opt.Around, opt.Radius, allowed)
+		}
+		for _, c := range opt.Centers {
+			if c != nil {
+				edgeSetAround(c, opt.Radius, allowed)
+			}
+		}
 	}
 
 	anchor := t.AnyNode()
@@ -72,7 +91,7 @@ func (e *Engine) OptimizeBranches(t *tree.Tree, opt OptOptions) (float64, error)
 	prev := math.Inf(-1)
 	last := prev
 	for pass := 0; pass < opt.Passes; pass++ {
-		e.smoothPass(t, anchor, allowed)
+		e.smoothPass(anchor, allowed)
 		lnL, err := e.LogLikelihood(t)
 		if err != nil {
 			return 0, err
@@ -86,9 +105,9 @@ func (e *Engine) OptimizeBranches(t *tree.Tree, opt OptOptions) (float64, error)
 	return last, nil
 }
 
-// edgeSetAround collects the undirected edges within radius vertices of n.
-func edgeSetAround(n *tree.Node, radius int) map[[2]int]bool {
-	out := make(map[[2]int]bool)
+// edgeSetAround adds the undirected edges within radius vertices of n to
+// out.
+func edgeSetAround(n *tree.Node, radius int, out map[[2]int]bool) {
 	type item struct {
 		node *tree.Node
 		dist int
@@ -109,7 +128,6 @@ func edgeSetAround(n *tree.Node, radius int) map[[2]int]bool {
 			}
 		}
 	}
-	return out
 }
 
 func edgeKey(a, b *tree.Node) [2]int {
@@ -119,127 +137,61 @@ func edgeKey(a, b *tree.Node) [2]int {
 	return [2]int{b.ID, a.ID}
 }
 
-// smoothPass performs one depth-first smoothing pass from anchor: fresh
-// down partials, then per-edge Newton visits with "rest of tree" partials
-// propagated downward.
-func (e *Engine) smoothPass(t *tree.Tree, anchor *tree.Node, allowed map[[2]int]bool) {
-	npat := e.pat.NumPatterns()
-	// Fresh down partials for every direction away from anchor.
-	for _, child := range anchor.Nbr {
-		e.downPartial(child, anchor)
-	}
-
-	// Per-node rest buffers (allocated lazily, reused across passes).
-	if e.restClv == nil {
-		e.restClv = map[int][]float64{}
-		e.restScale = map[int][]int32{}
-	}
-	restOf := func(id int) ([]float64, []int32) {
-		if e.restClv[id] == nil {
-			e.restClv[id] = make([]float64, npat*4)
-			e.restScale[id] = make([]int32, npat)
-		}
-		return e.restClv[id], e.restScale[id]
-	}
-
-	// computeRest fills rest(p->u): the partial at p excluding subtree(u).
-	// parentRest is rest(pp->p) when p has a parent pp (nil at anchor).
-	computeRest := func(p, u, pp *tree.Node, parentRest []float64, parentRestSc []int32) ([]float64, []int32) {
-		rclv, rsc := restOf(u.ID)
-		first := true
-		for i, v := range p.Nbr {
-			if v == u {
-				continue
-			}
-			var src []float64
-			var srcSc []int32
-			if v == pp {
-				src, srcSc = parentRest, parentRestSc
-			} else {
-				src, srcSc = e.clv[v.ID], e.scale[v.ID]
-			}
-			e.fillProbs(clampLen(p.Len[i]))
-			e.ops += uint64(npat) * 16
-			if first {
-				for pt := 0; pt < npat; pt++ {
-					pm := &e.pmat[e.classOf[pt]]
-					c0, c1, c2, c3 := src[pt*4], src[pt*4+1], src[pt*4+2], src[pt*4+3]
-					for j := 0; j < 4; j++ {
-						rclv[pt*4+j] = pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
-					}
-					rsc[pt] = srcSc[pt]
-				}
-				first = false
-			} else {
-				for pt := 0; pt < npat; pt++ {
-					pm := &e.pmat[e.classOf[pt]]
-					c0, c1, c2, c3 := src[pt*4], src[pt*4+1], src[pt*4+2], src[pt*4+3]
-					for j := 0; j < 4; j++ {
-						rclv[pt*4+j] *= pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
-					}
-					rsc[pt] += srcSc[pt]
-				}
-			}
-		}
-		if first {
-			// p is a leaf seen from u: rest is p's tip vector.
-			copy(rclv, e.tips[p.Taxon])
-			for i := range rsc {
-				rsc[i] = 0
-			}
-		}
-		// Rescale.
-		for pt := 0; pt < npat; pt++ {
-			m := rclv[pt*4]
-			for j := 1; j < 4; j++ {
-				if rclv[pt*4+j] > m {
-					m = rclv[pt*4+j]
-				}
-			}
-			if m < scaleThreshold && m > 0 {
-				for j := 0; j < 4; j++ {
-					rclv[pt*4+j] *= scaleFactor
-				}
-				rsc[pt]++
-			}
-		}
-		return rclv, rsc
-	}
-
-	// DFS: optimize edge (p->u), then descend.
-	var visit func(u, p, pp *tree.Node, parentRest []float64, parentRestSc []int32)
-	visit = func(u, p, pp *tree.Node, parentRest []float64, parentRestSc []int32) {
-		rclv, rsc := computeRest(p, u, pp, parentRest, parentRestSc)
+// smoothPass performs one depth-first smoothing pass from anchor,
+// visiting each edge once. Both directed partials come from the CLV
+// cache, so each visit recomputes only the vectors the previous Newton
+// updates invalidated — on a locally-edited tree, almost nothing.
+// Children are visited in node-ID order (Nbr order is not stable across
+// topology edits) so the sequence of Newton updates — and therefore the
+// exact optimized lengths — is independent of the tree's edit history.
+func (e *Engine) smoothPass(anchor *tree.Node, allowed map[[2]int]bool) {
+	var visit func(u, p *tree.Node)
+	visit = func(u, p *tree.Node) {
 		if allowed == nil || allowed[edgeKey(p, u)] {
+			aclv, asc, _ := e.partial(p, u) // rest of tree seen from u
+			bclv, bsc, _ := e.partial(u, p) // subtree at u
 			z0 := u.LenTo(p)
-			z := e.newtonEdge(rclv, rsc, e.clv[u.ID], e.scale[u.ID], z0)
-			tree.SetLen(p, u, z)
+			z := e.newtonEdge(aclv, asc, bclv, bsc, z0)
+			tree.SetLen(p, u, z) // no-op (and no invalidation) when z == z0
 		}
-		for _, c := range u.Nbr {
-			if c != p {
-				visit(c, u, p, rclv, rsc)
-			}
-		}
-		// Refresh u's down partial with the updated lengths below it, so
-		// subsequent siblings at p see current values. The children's
-		// buffers are already fresh (their visits refreshed them), so a
-		// single non-recursive combine suffices.
-		if !u.Leaf() {
-			e.refreshNode(u, p)
+		for _, c := range childrenByID(u, p) {
+			visit(c, u)
 		}
 	}
-	for _, child := range anchor.Nbr {
-		visit(child, anchor, nil, nil, nil)
+	for _, child := range childrenByID(anchor, nil) {
+		visit(child, anchor)
 	}
 }
 
+// childrenByID returns u's neighbors other than p, sorted by node ID.
+func childrenByID(u, p *tree.Node) []*tree.Node {
+	out := make([]*tree.Node, 0, len(u.Nbr))
+	for _, c := range u.Nbr {
+		if c != p {
+			out = append(out, c)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
 // newtonEdge maximizes the edge log-likelihood over the branch length,
-// starting from z0, returning the improved length (never worse than z0).
+// starting from z0. It returns the best length among the evaluated
+// iterates, z0 included, so the result is never worse than the start —
+// the accept/reject guard reuses the likelihood values edgeDerivatives
+// already computes instead of paying two extra evaluation passes.
 func (e *Engine) newtonEdge(aclv []float64, asc []int32, bclv []float64, bsc []int32, z0 float64) float64 {
 	z := clampLen(z0)
-	start := z
+	bestZ, bestL := z, math.Inf(-1)
 	for iter := 0; iter < newtonMaxIter; iter++ {
-		d1, d2 := e.edgeDerivatives(aclv, bclv, z)
+		d1, d2, lnl := e.edgeDerivatives(aclv, asc, bclv, bsc, z)
+		if lnl > bestL {
+			bestL, bestZ = lnl, z
+		}
 		var next float64
 		if d2 < 0 {
 			next = z - d1/d2
@@ -266,48 +218,43 @@ func (e *Engine) newtonEdge(aclv []float64, asc []int32, bclv []float64, bsc []i
 		}
 		next = clampLen(next)
 		if math.Abs(next-z) < newtonTol*(z+newtonTol) {
-			z = next
 			break
 		}
 		z = next
 	}
-	// Guard: accept only if not worse than the starting length.
-	if z != start {
-		before := e.edgeLogLikelihood(aclv, asc, bclv, bsc, start)
-		after := e.edgeLogLikelihood(aclv, asc, bclv, bsc, z)
-		if after < before {
-			return start
-		}
-	}
-	return z
+	return bestZ
 }
 
-// edgeDerivatives computes d/dz and d²/dz² of the edge log-likelihood.
-func (e *Engine) edgeDerivatives(aclv, bclv []float64, z float64) (float64, float64) {
-	npat := e.pat.NumPatterns()
+// edgeDerivatives computes d/dz and d²/dz² of the edge log-likelihood at
+// z, plus the log-likelihood itself (the log factors fall out of the
+// derivative terms, so the value costs only the per-pattern log the
+// guard in newtonEdge would otherwise pay for separately).
+func (e *Engine) edgeDerivatives(aclv []float64, asc []int32, bclv []float64, bsc []int32, z float64) (float64, float64, float64) {
 	e.fillProbsDeriv(clampLen(z))
-	e.ops += uint64(npat) * 48
-	d1, d2 := 0.0, 0.0
-	for p := 0; p < npat; p++ {
-		ci := e.classOf[p]
-		pm, dm, ddm := &e.pmat[ci], &e.dmat[ci], &e.ddmat[ci]
-		b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
-		var l, dl, ddl float64
-		for i := 0; i < 4; i++ {
-			ai := e.freqs[i] * aclv[p*4+i]
-			l += ai * (pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
-			dl += ai * (dm[i][0]*b0 + dm[i][1]*b1 + dm[i][2]*b2 + dm[i][3]*b3)
-			ddl += ai * (ddm[i][0]*b0 + ddm[i][1]*b1 + ddm[i][2]*b2 + ddm[i][3]*b3)
+	e.ops += uint64(e.npat) * 48
+	d1, d2, lnL := 0.0, 0.0, 0.0
+	for _, blk := range e.blocks {
+		pm, dm, ddm := &e.pmat[blk.ci], &e.dmat[blk.ci], &e.ddmat[blk.ci]
+		for p := blk.lo; p < blk.hi; p++ {
+			b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
+			var l, dl, ddl float64
+			for i := 0; i < 4; i++ {
+				ai := e.freqs[i] * aclv[p*4+i]
+				l += ai * (pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
+				dl += ai * (dm[i][0]*b0 + dm[i][1]*b1 + dm[i][2]*b2 + dm[i][3]*b3)
+				ddl += ai * (ddm[i][0]*b0 + ddm[i][1]*b1 + ddm[i][2]*b2 + ddm[i][3]*b3)
+			}
+			if l <= 0 {
+				l = math.SmallestNonzeroFloat64
+			}
+			w := e.weights[p]
+			r := dl / l
+			d1 += w * r
+			d2 += w * (ddl/l - r*r)
+			lnL += w * (math.Log(l) - float64(asc[p]+bsc[p])*logScale)
 		}
-		if l <= 0 {
-			l = math.SmallestNonzeroFloat64
-		}
-		w := e.pat.Weights[p]
-		r := dl / l
-		d1 += w * r
-		d2 += w * (ddl/l - r*r)
 	}
-	return d1, d2
+	return d1, d2, lnL
 }
 
 // OptimizeEdge optimizes a single edge's branch length in place and
@@ -321,8 +268,8 @@ func (e *Engine) OptimizeEdge(t *tree.Tree, ed tree.Edge) (float64, error) {
 		return 0, fmt.Errorf("likelihood: edge %d-%d does not exist", ed.A.ID, ed.B.ID)
 	}
 	e.ensureBuffers(t.MaxID())
-	aclv, asc := e.downPartial(ed.A, ed.B)
-	bclv, bsc := e.downPartial(ed.B, ed.A)
+	aclv, asc, _ := e.partial(ed.A, ed.B)
+	bclv, bsc, _ := e.partial(ed.B, ed.A)
 	z := e.newtonEdge(aclv, asc, bclv, bsc, ed.Length())
 	tree.SetLen(ed.A, ed.B, z)
 	return e.edgeLogLikelihood(aclv, asc, bclv, bsc, z), nil

@@ -10,31 +10,88 @@ import (
 // Evaluator executes Tasks against one engine. The serial dispatcher and
 // the worker process share it, so serial and parallel runs produce
 // bit-identical results for the same tasks.
+//
+// Shared-base tasks (BaseNewick set) are evaluated against a base tree
+// the evaluator parses once and keeps — along with the engine's CLV
+// cache — across every task of the batch. Candidate insertions never
+// touch the base tree at all; rearrangement candidates are applied,
+// scored, and undone with every modified branch length restored, so the
+// cache stays warm from task to task. Because cached CLVs are
+// bit-identical to freshly computed ones, results do not depend on task
+// order or on which worker evaluates which task.
 type Evaluator struct {
 	eng  *likelihood.Engine
 	taxa []string
+
+	// Shared-base state, keyed by the base Newick string.
+	baseKey   string
+	base      *tree.Tree
+	baseEdges []tree.Edge
+	// baseLens snapshots every base edge length (by endpoint IDs) so
+	// rearrangement evaluation can restore the exact pre-move state.
+	baseLens []edgeLenSnap
+
+	scorer      *likelihood.InsertScorer
+	scorerTaxon int32
+}
+
+type edgeLenSnap struct {
+	a, b int
+	l    float64
 }
 
 // NewEvaluator wraps a likelihood engine for task evaluation.
 func NewEvaluator(eng *likelihood.Engine, taxa []string) *Evaluator {
-	return &Evaluator{eng: eng, taxa: taxa}
+	return &Evaluator{eng: eng, taxa: taxa, scorerTaxon: -1}
 }
 
-// Evaluate parses the task's tree, optimizes branch lengths as requested,
-// and returns the result. The Ops field reports the work units consumed
-// by exactly this evaluation.
+// Evaluate runs one task and returns the result. The Ops field reports
+// the work units consumed by exactly this evaluation; CacheHits and
+// CacheMisses report the CLV cache behaviour over the same span.
 func (ev *Evaluator) Evaluate(t Task) (Result, error) {
+	opsBefore := ev.eng.Ops()
+	statsBefore := ev.eng.Snapshot()
+
+	var (
+		nwk string
+		lnL float64
+		err error
+	)
+	switch {
+	case t.BaseNewick != "" && t.InsertEdge >= 0:
+		nwk, lnL, err = ev.evalInsert(t)
+	case t.BaseNewick != "":
+		nwk, lnL, err = ev.evalMove(t)
+	default:
+		nwk, lnL, err = ev.evalFull(t)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	statsAfter := ev.eng.Snapshot()
+	return Result{
+		TaskID:      t.ID,
+		Round:       t.Round,
+		Newick:      nwk,
+		LnL:         lnL,
+		Ops:         ev.eng.Ops() - opsBefore,
+		CacheHits:   statsAfter.Hits - statsBefore.Hits,
+		CacheMisses: statsAfter.Misses - statsBefore.Misses,
+	}, nil
+}
+
+// evalFull is the standalone path: parse the task's own tree and smooth
+// it as requested (init, smooth, and user-tree rounds).
+func (ev *Evaluator) evalFull(t Task) (string, float64, error) {
 	tr, err := tree.ParseNewick(t.Newick, ev.taxa)
 	if err != nil {
-		return Result{}, fmt.Errorf("mlsearch: task %d: %w", t.ID, err)
+		return "", 0, fmt.Errorf("mlsearch: task %d: %w", t.ID, err)
 	}
-	opsBefore := ev.eng.Ops()
-
 	opt := likelihood.OptOptions{Passes: int(t.Passes)}
 	if t.LocalTaxon >= 0 {
 		leaf := tr.LeafByTaxon(int(t.LocalTaxon))
 		if leaf == nil {
-			return Result{}, fmt.Errorf("mlsearch: task %d: local taxon %d not in tree", t.ID, t.LocalTaxon)
+			return "", 0, fmt.Errorf("mlsearch: task %d: local taxon %d not in tree", t.ID, t.LocalTaxon)
 		}
 		if leaf.Degree() > 0 {
 			opt.Around = leaf.Nbr[0]
@@ -43,13 +100,112 @@ func (ev *Evaluator) Evaluate(t Task) (Result, error) {
 	}
 	lnL, err := ev.eng.OptimizeBranches(tr, opt)
 	if err != nil {
-		return Result{}, fmt.Errorf("mlsearch: task %d: %w", t.ID, err)
+		return "", 0, fmt.Errorf("mlsearch: task %d: %w", t.ID, err)
 	}
-	return Result{
-		TaskID: t.ID,
-		Round:  t.Round,
-		Newick: tr.Newick(),
-		LnL:    lnL,
-		Ops:    ev.eng.Ops() - opsBefore,
-	}, nil
+	return tr.Newick(), lnL, nil
+}
+
+// ensureBase parses and caches the shared base tree for a batch.
+func (ev *Evaluator) ensureBase(nwk string) error {
+	if ev.base != nil && ev.baseKey == nwk {
+		return nil
+	}
+	tr, err := tree.ParseNewick(nwk, ev.taxa)
+	if err != nil {
+		return err
+	}
+	ev.base = tr
+	ev.baseKey = nwk
+	ev.baseEdges = tr.Edges()
+	ev.baseLens = ev.baseLens[:0]
+	for _, e := range ev.baseEdges {
+		ev.baseLens = append(ev.baseLens, edgeLenSnap{a: e.A.ID, b: e.B.ID, l: e.Length()})
+	}
+	ev.scorer = nil
+	ev.scorerTaxon = -1
+	return nil
+}
+
+// evalInsert scores inserting LocalTaxon at base edge InsertEdge using
+// the shared-base scorer: O(patterns) at the insertion edge, with the
+// base tree's directed partials computed once and shared by every
+// candidate of the round.
+func (ev *Evaluator) evalInsert(t Task) (string, float64, error) {
+	if err := ev.ensureBase(t.BaseNewick); err != nil {
+		return "", 0, fmt.Errorf("mlsearch: task %d: %w", t.ID, err)
+	}
+	if int(t.InsertEdge) >= len(ev.baseEdges) {
+		return "", 0, fmt.Errorf("mlsearch: task %d: insert edge %d of %d", t.ID, t.InsertEdge, len(ev.baseEdges))
+	}
+	if ev.scorer == nil || ev.scorerTaxon != t.LocalTaxon {
+		sc, err := ev.eng.NewInsertScorer(ev.base, int(t.LocalTaxon))
+		if err != nil {
+			return "", 0, fmt.Errorf("mlsearch: task %d: %w", t.ID, err)
+		}
+		ev.scorer = sc
+		ev.scorerTaxon = t.LocalTaxon
+	}
+	ed := ev.baseEdges[t.InsertEdge]
+	score, err := ev.scorer.Score(ed, int(t.Passes))
+	if err != nil {
+		return "", 0, fmt.Errorf("mlsearch: task %d: %w", t.ID, err)
+	}
+	// Build the candidate tree for the result: clone the base, insert
+	// the leaf, and install the optimized junction lengths.
+	cand := ev.base.Clone()
+	ca, cb := cand.Nodes[ed.A.ID], cand.Nodes[ed.B.ID]
+	leaf, err := cand.InsertLeaf(int(t.LocalTaxon), tree.Edge{A: ca, B: cb})
+	if err != nil {
+		return "", 0, fmt.Errorf("mlsearch: task %d: %w", t.ID, err)
+	}
+	mid := leaf.Nbr[0]
+	tree.SetLen(ca, mid, score.LenA)
+	tree.SetLen(mid, cb, score.LenB)
+	tree.SetLen(mid, leaf, score.LenLeaf)
+	return cand.Newick(), score.LnL, nil
+}
+
+// evalMove scores one rearrangement: apply the SPR move to the shared
+// base, optimize the branches around the regraft junction and the prune
+// site, serialize, then undo the move and restore every branch length so
+// the next task starts from the identical base state.
+func (ev *Evaluator) evalMove(t Task) (string, float64, error) {
+	if err := ev.ensureBase(t.BaseNewick); err != nil {
+		return "", 0, fmt.Errorf("mlsearch: task %d: %w", t.ID, err)
+	}
+	mv := tree.SPRMove{P: int(t.MoveP), S: int(t.MoveS), TA: int(t.MoveTA), TB: int(t.MoveTB)}
+	undo, err := ev.base.ApplySPR(mv)
+	if err != nil {
+		return "", 0, fmt.Errorf("mlsearch: task %d: %w", t.ID, err)
+	}
+	opt := likelihood.OptOptions{
+		Passes:  int(t.Passes),
+		Centers: []*tree.Node{undo.Mid, undo.Joined.A, undo.Joined.B},
+		Radius:  2,
+	}
+	lnL, optErr := ev.eng.OptimizeBranches(ev.base, opt)
+	var nwk string
+	if optErr == nil {
+		nwk = ev.base.Newick()
+	}
+	undo.Undo()
+	ev.restoreBaseLens()
+	// The undo cycle dissolves and recreates internal nodes (same IDs,
+	// new objects), so the cached edge list must be re-derived in case a
+	// later batch reuses this base (identical Newick string).
+	ev.baseEdges = ev.base.Edges()
+	if optErr != nil {
+		return "", 0, fmt.Errorf("mlsearch: task %d: %w", t.ID, optErr)
+	}
+	return nwk, lnL, nil
+}
+
+// restoreBaseLens resets every base edge to its snapshot length. SetLen
+// skips (and does not invalidate) edges already at the right value, so
+// only the branches the optimizer actually moved cost cache entries.
+func (ev *Evaluator) restoreBaseLens() {
+	for _, s := range ev.baseLens {
+		a, b := ev.base.Nodes[s.a], ev.base.Nodes[s.b]
+		tree.SetLen(a, b, s.l)
+	}
 }

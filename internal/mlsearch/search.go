@@ -49,12 +49,21 @@ func (k RoundKind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
+// taskOverheadBytes approximates the serialized size of one shared-base
+// task's candidate description (an edge index or four move IDs) for the
+// GenBytes accounting; the base Newick itself is counted once per round.
+const taskOverheadBytes = 20
+
 // TaskStat records what one task cost, for the cluster simulator.
 type TaskStat struct {
-	// Ops is the likelihood work the task consumed.
+	// Ops is the likelihood work the task consumed (cache hits are free,
+	// so shared-base tasks report only recomputed work).
 	Ops uint64
 	// LnL is the task's resulting log-likelihood.
 	LnL float64
+	// CacheHits and CacheMisses count the worker engine's CLV cache
+	// lookups during the task.
+	CacheHits, CacheMisses uint64
 }
 
 // RoundStats records one dispatch round.
@@ -246,7 +255,7 @@ func (s *Search) dispatchRound(kind RoundKind, taxaInTree int, tasks []Task, gen
 	stats := RoundStats{Kind: kind, TaxaInTree: taxaInTree, GenBytes: genBytes}
 	best := results[0]
 	for _, r := range results {
-		stats.Tasks = append(stats.Tasks, TaskStat{Ops: r.Ops, LnL: r.LnL})
+		stats.Tasks = append(stats.Tasks, TaskStat{Ops: r.Ops, LnL: r.LnL, CacheHits: r.CacheHits, CacheMisses: r.CacheMisses})
 		s.totalOps += r.Ops
 		if r.LnL > best.LnL {
 			best = r
@@ -269,6 +278,11 @@ func (s *Search) newTask(newick string, localTaxon int, passes int) Task {
 		Newick:     newick,
 		LocalTaxon: int32(localTaxon),
 		Passes:     int32(passes),
+		InsertEdge: -1,
+		MoveP:      -1,
+		MoveS:      -1,
+		MoveTA:     -1,
+		MoveTB:     -1,
 	}
 }
 
@@ -305,22 +319,28 @@ func (s *Search) smoothRound(kind RoundKind, tr *tree.Tree, taxaInTree int) (*tr
 	return out, results[0].LnL, nil
 }
 
-// addTaxon performs step 3: dispatch one task per insertion edge, adopt
-// the best, then fully smooth it.
+// addTaxon performs step 3: dispatch one shared-base task per insertion
+// edge, adopt the best, then fully smooth it. The master serializes the
+// base tree once; each task carries only an edge index, and the workers
+// score every candidate against their cached copy of the same base.
 func (s *Search) addTaxon(tr *tree.Tree, taxon, taxaAfter int) (*tree.Tree, float64, error) {
 	s.nextRound++
-	edges := tr.InsertionEdges()
+	nwk := tr.Newick()
+	// Enumerate edges on a reparse of the serialized base so the edge
+	// indices agree with what workers see when they parse BaseNewick.
+	base, err := tree.ParseNewick(nwk, s.cfg.Taxa)
+	if err != nil {
+		return nil, 0, err
+	}
+	edges := base.InsertionEdges()
 	tasks := make([]Task, 0, len(edges))
-	var genBytes uint64
-	for _, e := range edges {
-		cand := tr.Clone()
-		ca, cb := cand.Nodes[e.A.ID], cand.Nodes[e.B.ID]
-		if _, err := cand.InsertLeaf(taxon, tree.Edge{A: ca, B: cb}); err != nil {
-			return nil, 0, err
-		}
-		nwk := cand.Newick()
-		genBytes += uint64(len(nwk))
-		tasks = append(tasks, s.newTask(nwk, taxon, s.cfg.QuickInsertPasses))
+	genBytes := uint64(len(nwk))
+	for k := range edges {
+		task := s.newTask("", taxon, s.cfg.QuickInsertPasses)
+		task.BaseNewick = nwk
+		task.InsertEdge = int32(k)
+		tasks = append(tasks, task)
+		genBytes += taskOverheadBytes
 	}
 	results, err := s.dispatchRound(RoundAdd, taxaAfter, tasks, genBytes)
 	if err != nil {
@@ -344,12 +364,26 @@ func (s *Search) rearrangeToConvergence(kind RoundKind, tr *tree.Tree, lnL float
 	improved := 0
 	for round := 0; round < s.cfg.MaxRearrangeRounds; round++ {
 		s.nextRound++
+		nwk := tr.Newick()
+		// Enumerate moves on a reparse of the serialized base so the
+		// node IDs in each move agree with the workers' parse of
+		// BaseNewick (shared-base evaluation, one Newick per round).
+		base, err := tree.ParseNewick(nwk, s.cfg.Taxa)
+		if err != nil {
+			return nil, 0, improved, err
+		}
 		var tasks []Task
-		var genBytes uint64
-		_, err := tr.Rearrangements(extent, func(view *tree.Tree, cand tree.RearrangeCandidate) bool {
-			nwk := view.Newick()
-			genBytes += uint64(len(nwk))
-			tasks = append(tasks, s.newTask(nwk, -1, s.cfg.QuickInsertPasses))
+		genBytes := uint64(len(nwk))
+		_, err = base.Rearrangements(extent, func(view *tree.Tree, cand tree.RearrangeCandidate) bool {
+			mv := cand.Move()
+			task := s.newTask("", -1, s.cfg.QuickInsertPasses)
+			task.BaseNewick = nwk
+			task.MoveP = int32(mv.P)
+			task.MoveS = int32(mv.S)
+			task.MoveTA = int32(mv.TA)
+			task.MoveTB = int32(mv.TB)
+			tasks = append(tasks, task)
+			genBytes += taskOverheadBytes
 			return true
 		})
 		if err != nil {

@@ -35,6 +35,24 @@ type Task struct {
 	// normally strips non-best trees to save bandwidth). User-tree
 	// evaluation sets it.
 	KeepTree bool
+
+	// BaseNewick, when non-empty, switches the task to shared-base
+	// evaluation: the worker parses and caches this base tree once per
+	// batch (reusing its engine's CLV cache across the batch's tasks)
+	// and derives the candidate from it, instead of parsing Newick.
+	// Every worker parses the same string, so node IDs agree with the
+	// master's enumeration.
+	BaseNewick string
+	// InsertEdge, when >= 0 with BaseNewick set, scores inserting
+	// LocalTaxon at index InsertEdge of the base tree's
+	// InsertionEdges() — O(patterns) work at the insertion edge.
+	InsertEdge int32
+	// MoveP/MoveS/MoveTA/MoveTB, when InsertEdge < 0 with BaseNewick
+	// set, identify a rearrangement by node IDs in the base tree: prune
+	// the subtree at MoveS (dissolving MoveP) and regraft it onto edge
+	// (MoveTA, MoveTB). The worker applies the move, optimizes locally,
+	// and undoes it, keeping its cached base tree warm.
+	MoveP, MoveS, MoveTA, MoveTB int32
 }
 
 // Result is a worker's answer to one Task.
@@ -48,8 +66,12 @@ type Result struct {
 	// LnL is the optimized log-likelihood.
 	LnL float64
 	// Ops is the number of likelihood work units the evaluation cost;
-	// the cluster simulator's cost model consumes it.
+	// the cluster simulator's cost model consumes it. Cache hits cost
+	// zero ops, so shared-base tasks report only the work actually done.
 	Ops uint64
+	// CacheHits and CacheMisses count the worker engine's CLV cache
+	// behaviour during this task, for the scaling simulator.
+	CacheHits, CacheMisses uint64
 	// Worker is the responding worker's rank (filled by the foreman).
 	Worker int32
 }
@@ -153,6 +175,12 @@ func MarshalTask(t Task) []byte {
 		keep = 1
 	}
 	w.i32(keep)
+	w.str(t.BaseNewick)
+	w.i32(t.InsertEdge)
+	w.i32(t.MoveP)
+	w.i32(t.MoveS)
+	w.i32(t.MoveTA)
+	w.i32(t.MoveTB)
 	return w.buf
 }
 
@@ -167,6 +195,12 @@ func UnmarshalTask(b []byte) (Task, error) {
 		Passes:     r.i32("task passes"),
 	}
 	t.KeepTree = r.i32("task keep tree") != 0
+	t.BaseNewick = r.str("task base newick")
+	t.InsertEdge = r.i32("task insert edge")
+	t.MoveP = r.i32("task move p")
+	t.MoveS = r.i32("task move s")
+	t.MoveTA = r.i32("task move ta")
+	t.MoveTB = r.i32("task move tb")
 	return t, r.done("task")
 }
 
@@ -178,6 +212,8 @@ func MarshalResult(res Result) []byte {
 	w.str(res.Newick)
 	w.f64(res.LnL)
 	w.u64(res.Ops)
+	w.u64(res.CacheHits)
+	w.u64(res.CacheMisses)
 	w.i32(res.Worker)
 	return w.buf
 }
@@ -186,12 +222,14 @@ func MarshalResult(res Result) []byte {
 func UnmarshalResult(b []byte) (Result, error) {
 	r := wireReader{buf: b}
 	res := Result{
-		TaskID: r.u64("result task id"),
-		Round:  r.u64("result round"),
-		Newick: r.str("result newick"),
-		LnL:    r.f64("result lnl"),
-		Ops:    r.u64("result ops"),
-		Worker: r.i32("result worker"),
+		TaskID:      r.u64("result task id"),
+		Round:       r.u64("result round"),
+		Newick:      r.str("result newick"),
+		LnL:         r.f64("result lnl"),
+		Ops:         r.u64("result ops"),
+		CacheHits:   r.u64("result cache hits"),
+		CacheMisses: r.u64("result cache misses"),
+		Worker:      r.i32("result worker"),
 	}
 	return res, r.done("result")
 }

@@ -33,6 +33,110 @@ type RearrangeCandidate struct {
 	Target Edge
 	// Distance is the number of vertices crossed (1..extent).
 	Distance int
+	// PruneAt is the node ID of the dissolved attachment vertex in the
+	// pre-mutation tree, so the move can be replayed with ApplySPR on
+	// another copy of the same tree (node IDs are preserved by parsing
+	// the same Newick string or by Clone).
+	PruneAt int
+}
+
+// SPRMove identifies one subtree-prune-regraft move by node IDs in the
+// unmutated tree: the subtree rooted at S (seen from its attachment P) is
+// pruned, P is dissolved, and S is regrafted onto the edge (TA, TB).
+// Because it references only IDs, a move enumerated on one copy of a tree
+// can be applied to any other copy with the same node numbering, which is
+// how search workers replay the master's candidate moves against their
+// own cached base tree.
+type SPRMove struct {
+	P, S, TA, TB int
+}
+
+// Move returns c as an ID-based move replayable with ApplySPR.
+func (c RearrangeCandidate) Move() SPRMove {
+	return SPRMove{P: c.PruneAt, S: c.Subtree.ID, TA: c.Target.A.ID, TB: c.Target.B.ID}
+}
+
+// SPRUndo records everything needed to reverse an ApplySPR exactly:
+// after Undo the tree has the original topology with the original node
+// IDs in the original slots, and every branch touched by the apply/undo
+// cycle is restored to its pre-move length.
+type SPRUndo struct {
+	t *Tree
+	// Mid is the regraft junction node created by the move; callers use
+	// it to center local branch optimization on the changed region. It is
+	// invalid after Undo.
+	Mid *Node
+	// Joined is the edge that replaced the dissolved attachment; its
+	// endpoints remain valid after Undo.
+	Joined Edge
+	s         *Node
+	ta, tb    *Node
+	targetLen float64
+	others    []*Node
+	lens      []float64
+	lps       float64
+}
+
+// ApplySPR replays a move produced by RearrangeCandidate.Move (or built
+// from IDs directly) on t, returning an undo record. The tree must be
+// unrooted binary and the IDs must describe a live prune/regraft pair.
+func (t *Tree) ApplySPR(m SPRMove) (*SPRUndo, error) {
+	node := func(id int) (*Node, error) {
+		if id < 0 || id >= len(t.Nodes) || t.Nodes[id] == nil {
+			return nil, fmt.Errorf("tree: SPR move references dead node %d", id)
+		}
+		return t.Nodes[id], nil
+	}
+	p, err := node(m.P)
+	if err != nil {
+		return nil, err
+	}
+	s, err := node(m.S)
+	if err != nil {
+		return nil, err
+	}
+	ta, err := node(m.TA)
+	if err != nil {
+		return nil, err
+	}
+	tb, err := node(m.TB)
+	if err != nil {
+		return nil, err
+	}
+	u := &SPRUndo{t: t, s: s, ta: ta, tb: tb}
+	for i, nb := range p.Nbr {
+		if nb != s {
+			u.others = append(u.others, nb)
+			u.lens = append(u.lens, p.Len[i])
+		}
+	}
+	u.lps = p.LenTo(s)
+	u.Joined, err = t.PruneSubtree(p, s)
+	if err != nil {
+		return nil, err
+	}
+	if ta.NbrIndex(tb) < 0 {
+		// Re-split the joined edge before reporting the error so the
+		// tree is left intact.
+		undoPrune(t, u.Joined, s, u.others, u.lens, u.lps)
+		return nil, fmt.Errorf("tree: SPR target %d-%d is not an edge after pruning", m.TA, m.TB)
+	}
+	u.targetLen = ta.LenTo(tb)
+	u.Mid, err = t.RegraftSubtree(s, Edge{ta, tb}, u.lps)
+	if err != nil {
+		undoPrune(t, u.Joined, s, u.others, u.lens, u.lps)
+		return nil, err
+	}
+	return u, nil
+}
+
+// Undo reverses the move. Branch lengths changed by optimization between
+// Apply and Undo are restored on the edges the move itself touched; the
+// caller is responsible for any other edges it modified.
+func (u *SPRUndo) Undo() {
+	undoRegraft(u.t, u.Mid, u.s)
+	SetLen(u.ta, u.tb, u.targetLen)
+	undoPrune(u.t, u.Joined, u.s, u.others, u.lens, u.lps)
 }
 
 // Rearrangements enumerates the topologically distinct trees reachable by
@@ -106,7 +210,7 @@ func (t *Tree) Rearrangements(extent int, fn func(view *Tree, cand RearrangeCand
 			if !seen[key] {
 				seen[key] = true
 				count++
-				if !fn(t, RearrangeCandidate{Subtree: s, Attach: joined, Target: tg.e, Distance: tg.dist}) {
+				if !fn(t, RearrangeCandidate{Subtree: s, Attach: joined, Target: tg.e, Distance: tg.dist, PruneAt: mv.p}) {
 					stop = true
 				}
 			}

@@ -31,7 +31,19 @@ type Node struct {
 	// Len[i] is the length of the branch to Nbr[i], in expected
 	// substitutions per site. The reverse direction stores the same value.
 	Len []float64
+
+	// rev counts changes to this node's incident edges (lengths and
+	// adjacency). Likelihood engines compare revisions to decide whether
+	// cached conditional likelihood vectors are still valid, so every
+	// mutation of Nbr/Len must go through the helpers that bump it.
+	rev uint64
 }
+
+// Rev returns the node's edge-revision counter. It increases whenever a
+// branch incident to the node changes length or the adjacency list
+// changes; it never decreases. Callers that mutate Len directly (instead
+// of through SetLen) must notify dependent caches themselves.
+func (n *Node) Rev() uint64 { return n.rev }
 
 // Leaf reports whether n is a leaf.
 func (n *Node) Leaf() bool { return n.Taxon >= 0 }
@@ -111,6 +123,8 @@ func connect(a, b *Node, v float64) {
 	a.Len = append(a.Len, v)
 	b.Nbr = append(b.Nbr, a)
 	b.Len = append(b.Len, v)
+	a.rev++
+	b.rev++
 }
 
 // disconnect removes the edge between a and b.
@@ -124,17 +138,27 @@ func disconnect(a, b *Node) {
 	a.Len = append(a.Len[:ai], a.Len[ai+1:]...)
 	b.Nbr = append(b.Nbr[:bi], b.Nbr[bi+1:]...)
 	b.Len = append(b.Len[:bi], b.Len[bi+1:]...)
+	a.rev++
+	b.rev++
 }
 
 // SetLen sets the length of the edge between a and b (both directions).
+// The revision counters of both endpoints are bumped only when the stored
+// value actually changes, so restoring a length to its previous value
+// after a trial move keeps dependent CLV caches warm.
 func SetLen(a, b *Node, v float64) {
 	ai := a.NbrIndex(b)
 	bi := b.NbrIndex(a)
 	if ai < 0 || bi < 0 {
 		panic("tree: SetLen on non-adjacent nodes")
 	}
+	if a.Len[ai] == v && b.Len[bi] == v {
+		return
+	}
 	a.Len[ai] = v
 	b.Len[bi] = v
+	a.rev++
+	b.rev++
 }
 
 // AnyNode returns an arbitrary node of the tree (an internal one when any
