@@ -61,13 +61,14 @@ func BenchmarkFig1TreeRender(b *testing.B) {
 // protocol on a small data set and checks it against the serial program.
 func BenchmarkFig2ParallelFlow(b *testing.B) {
 	cfg := benchConfig(b, 10, 200, 3)
-	serial, err := mlsearch.RunSerial(cfg)
+	serialOut, err := mlsearch.Run(cfg, mlsearch.RunOptions{Transport: mlsearch.Serial})
 	if err != nil {
 		b.Fatal(err)
 	}
+	serial := serialOut.Results[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := mlsearch.RunLocalParallel(cfg, mlsearch.LocalRunOptions{Workers: 3, WithMonitor: true})
+		out, err := mlsearch.Run(cfg, mlsearch.RunOptions{Transport: mlsearch.Local, Workers: 3, WithMonitor: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -283,7 +284,7 @@ func BenchmarkSerialSearch(b *testing.B) {
 	cfg := benchConfig(b, 12, 300, 9)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mlsearch.RunSerial(cfg); err != nil {
+		if _, err := mlsearch.Run(cfg, mlsearch.RunOptions{Transport: mlsearch.Serial}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -367,8 +368,9 @@ func BenchmarkMonitorDiscard(b *testing.B) {
 	cfg := benchConfig(b, 8, 150, 21)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mlsearch.RunLocalParallel(cfg, mlsearch.LocalRunOptions{
-			Workers: 2, WithMonitor: true, MonitorOut: io.Discard,
+		if _, err := mlsearch.Run(cfg, mlsearch.RunOptions{
+			Transport: mlsearch.Local,
+			Workers:   2, WithMonitor: true, MonitorOut: io.Discard,
 		}); err != nil {
 			b.Fatal(err)
 		}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fileio"
@@ -39,13 +40,14 @@ func main() {
 		progressOut = flag.String("progress-out", "", "append each adopted best tree to this file (for treeview)")
 		listen      = flag.String("listen", "", "run as distributed master listening on this address")
 		netWorkers  = flag.Int("net-workers", 0, "number of fdworker processes expected (with -listen)")
+		taskTimeout = flag.Duration("task-timeout", 60*time.Second, "distributed runs: re-dispatch a task whose worker has not answered within this (0 disables)")
 		quiet       = flag.Bool("quiet", false, "suppress per-jumble output")
 		modelName   = flag.String("model", "F84", "substitution model: F84, JC69, K80, HKY85, GTR")
 		gtrRates    = flag.String("gtr-rates", "", "six GTR exchangeabilities ac,ag,at,cg,ct,gt")
 		kappa       = flag.Float64("kappa", 2.0, "transition rate multiplier for K80/HKY85")
 		userTrees   = flag.String("usertrees", "", "evaluate and rank the trees in this file instead of searching")
 		bootstrap   = flag.Int("bootstrap", 0, "run this many bootstrap replicates instead of a plain search")
-		checkpoint  = flag.String("checkpoint", "", "write a restart file here after every taxon addition (serial, one jumble)")
+		checkpoint  = flag.String("checkpoint", "", "write a restart file here after every taxon addition (one jumble; serial or -listen)")
 		resume      = flag.String("resume", "", "resume a search from this restart file")
 		adaptive    = flag.Bool("adaptive", false, "adapt the rearrangement extent to recent success (paper §5)")
 	)
@@ -60,7 +62,7 @@ func main() {
 		ttratio: *ttratio, workers: *workers, monitor: *monitor,
 		ratesPath: *ratesPath, weightsPath: *weightsPath,
 		outPrefix: *outPrefix, progressOut: *progressOut,
-		listen: *listen, netWorkers: *netWorkers, quiet: *quiet,
+		listen: *listen, netWorkers: *netWorkers, taskTimeout: *taskTimeout, quiet: *quiet,
 		modelName: *modelName, kappa: *kappa, gtrRates: *gtrRates,
 		userTrees: *userTrees, bootstrap: *bootstrap,
 		checkpoint: *checkpoint, resume: *resume, adaptive: *adaptive,
@@ -73,6 +75,7 @@ func main() {
 type options struct {
 	jumbles, extent, finalExtent, workers, netWorkers int
 	seed                                              int64
+	taskTimeout                                       time.Duration
 	ttratio, kappa                                    float64
 	monitor, quiet                                    bool
 	ratesPath, weightsPath, outPrefix, progressOut    string
@@ -267,49 +270,23 @@ func runCheckpointed(a *seq.Alignment, opt core.Options, o options) error {
 	if err != nil {
 		return err
 	}
-	disp, err := mlsearch.NewSerialDispatcher(cfg)
-	if err != nil {
-		return err
-	}
-	s, err := mlsearch.NewSearch(cfg, disp)
-	if err != nil {
-		return err
-	}
+	runOpt := mlsearch.RunOptions{Transport: mlsearch.Serial}
 	if o.checkpoint != "" {
-		s.OnCheckpoint = func(cp mlsearch.Checkpoint) {
-			f, err := os.Create(o.checkpoint)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "fastdnaml: checkpoint:", err)
-				return
-			}
-			if err := mlsearch.WriteCheckpoint(f, cp); err != nil {
-				fmt.Fprintln(os.Stderr, "fastdnaml: checkpoint:", err)
-			}
-			f.Close()
-		}
+		runOpt.OnCheckpoint = func(_ int, cp mlsearch.Checkpoint) { writeCheckpointFile(o.checkpoint, cp) }
 	}
-	var res *mlsearch.SearchResult
 	if o.resume != "" {
-		f, err := os.Open(o.resume)
-		if err != nil {
-			return err
-		}
-		cp, err := mlsearch.ReadCheckpoint(f)
-		f.Close()
+		cp, err := readCheckpointFile(o.resume)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("resuming: phase %s, %d of %d taxa in tree\n", cp.Phase, cp.NextIndex, len(cp.Order))
-		res, err = s.Resume(cp)
-		if err != nil {
-			return err
-		}
-	} else {
-		res, err = s.Run()
-		if err != nil {
-			return err
-		}
+		runOpt.Resume = &cp
 	}
+	out, err := mlsearch.Run(cfg, runOpt)
+	if err != nil {
+		return err
+	}
+	res := out.Results[0]
 	tr, err := tree.ParseNewick(res.BestNewick, cfg.Taxa)
 	if err != nil {
 		return err
@@ -321,11 +298,12 @@ func runCheckpointed(a *seq.Alignment, opt core.Options, o options) error {
 	return report(inf, a, o)
 }
 
-// runDistributed hosts the TCP master; workers join via cmd/fdworker.
+// runDistributed hosts the elastic TCP master; workers join at any time
+// via cmd/fdworker. -net-workers is only a start barrier: the master
+// waits for that many workers before the first round, then tolerates
+// joins and departures for the rest of the run (evaluating inline if the
+// worker set ever empties).
 func runDistributed(a *seq.Alignment, opt core.Options, o options) error {
-	if o.netWorkers < 1 {
-		return fmt.Errorf("-listen requires -net-workers >= 1")
-	}
 	cfg, opt, err := core.Prepare(a, opt)
 	if err != nil {
 		return err
@@ -334,12 +312,14 @@ func runDistributed(a *seq.Alignment, opt core.Options, o options) error {
 	if err := seq.WritePhylip(&phylip, a, 0); err != nil {
 		return err
 	}
-	tcpOpt := mlsearch.TCPMasterOptions{
+	runOpt := mlsearch.RunOptions{
+		Transport:   mlsearch.TCP,
 		Addr:        o.listen,
 		Workers:     o.netWorkers,
 		WithMonitor: o.monitor,
 		Jumbles:     o.jumbles,
 		MonitorOut:  os.Stderr,
+		Foreman:     mlsearch.ForemanOptions{TaskTimeout: o.taskTimeout},
 		Bundle: mlsearch.DataBundle{
 			PhylipText: []byte(phylip.String()),
 			TTRatio:    opt.TTRatio,
@@ -348,14 +328,35 @@ func runDistributed(a *seq.Alignment, opt core.Options, o options) error {
 		},
 		Progress: opt.Progress,
 		OnListen: func(addr net.Addr) {
-			first, size := mlsearch.TCPMasterOptions{Workers: o.netWorkers, WithMonitor: o.monitor}.WorkerRanks()
-			fmt.Printf("listening on %s; start %d workers:\n", addr, o.netWorkers)
-			for r := first; r < size; r++ {
-				fmt.Printf("  fdworker -connect %s -rank %d -size %d -monitor=%v\n", addr, r, size, o.monitor)
+			fmt.Printf("listening on %s; workers join with:\n", addr)
+			fmt.Printf("  fdworker -connect %s\n", addr)
+			if o.netWorkers > 0 {
+				fmt.Printf("waiting for %d worker(s) before starting\n", o.netWorkers)
+			}
+		},
+		OnMember: func(rank int, joined bool) {
+			if o.quiet {
+				return
+			}
+			if joined {
+				fmt.Printf("worker %d joined\n", rank)
+			} else {
+				fmt.Printf("worker %d left\n", rank)
 			}
 		},
 	}
-	out, err := mlsearch.RunTCPMaster(cfg, tcpOpt)
+	if o.checkpoint != "" {
+		runOpt.OnCheckpoint = func(_ int, cp mlsearch.Checkpoint) { writeCheckpointFile(o.checkpoint, cp) }
+	}
+	if o.resume != "" {
+		cp, err := readCheckpointFile(o.resume)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resuming: phase %s, %d of %d taxa in tree\n", cp.Phase, cp.NextIndex, len(cp.Order))
+		runOpt.Resume = &cp
+	}
+	out, err := mlsearch.Run(cfg, runOpt)
 	if err != nil {
 		return err
 	}
@@ -367,7 +368,31 @@ func runDistributed(a *seq.Alignment, opt core.Options, o options) error {
 	return report(inf, a, o)
 }
 
-func inferenceFromResults(a *seq.Alignment, taxa []string, out *mlsearch.LocalRunOutcome, opt core.Options) (*core.Inference, error) {
+// writeCheckpointFile writes a restart file, logging failures without
+// aborting the run.
+func writeCheckpointFile(path string, cp mlsearch.Checkpoint) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fastdnaml: checkpoint:", err)
+		return
+	}
+	if err := mlsearch.WriteCheckpoint(f, cp); err != nil {
+		fmt.Fprintln(os.Stderr, "fastdnaml: checkpoint:", err)
+	}
+	f.Close()
+}
+
+// readCheckpointFile loads a restart file.
+func readCheckpointFile(path string) (mlsearch.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return mlsearch.Checkpoint{}, err
+	}
+	defer f.Close()
+	return mlsearch.ReadCheckpoint(f)
+}
+
+func inferenceFromResults(a *seq.Alignment, taxa []string, out *mlsearch.RunOutcome, opt core.Options) (*core.Inference, error) {
 	inf := &core.Inference{Monitor: out.Monitor}
 	seed := mlsearch.NormalizeSeed(opt.Seed)
 	for j, res := range out.Results {

@@ -1,8 +1,13 @@
 // Command fdworker is a distributed fastDNAml worker process: it joins a
-// master started with `fastdnaml -listen`, receives the alignment over
-// the wire, and evaluates trees until shutdown. Workers may run anywhere
-// a socket can reach the master — the reproduction of the paper's
-// geographically distributed PVM workers and cluster nodes (§2.2).
+// master started with `fastdnaml -listen`, receives its rank and the
+// alignment in the join handshake, and evaluates trees until shutdown.
+// Workers carry no pre-assigned identity and may start before the
+// master, join mid-run, or outlive a master restart: by default the
+// worker reconnects with jittered exponential backoff whenever its
+// connection drops. Workers may run anywhere a socket can reach the
+// master — the reproduction of the paper's geographically distributed
+// PVM workers and cluster nodes (§2.2), and the behaviour the planned
+// Condor/screensaver workers (§5) would need.
 package main
 
 import (
@@ -10,25 +15,26 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"time"
 
 	"repro/internal/mlsearch"
 )
 
 func main() {
 	var (
-		connect = flag.String("connect", "", "master address (required), e.g. host:7946")
-		rank    = flag.Int("rank", 0, "this worker's rank (printed by the master)")
-		size    = flag.Int("size", 0, "world size (printed by the master)")
-		monitor = flag.Bool("monitor", false, "set if the master runs with -monitor")
-		flaky   = flag.Float64("flaky", 0, "drop this fraction of replies (fault tolerance demos)")
-		seed    = flag.Int64("flaky-seed", 1, "seed for -flaky")
-		retryMs = flag.Int("retry-ms", 0, "retry the connection every N ms until it succeeds")
+		connect   = flag.String("connect", "", "master address (required), e.g. host:7946")
+		reconnect = flag.String("reconnect", "on", "reconnect policy: on, off, or base=250ms,cap=15s,max=0")
+		flaky     = flag.Float64("flaky", 0, "drop this fraction of replies (fault tolerance demos)")
+		seed      = flag.Int64("flaky-seed", 1, "seed for -flaky")
 	)
 	flag.Parse()
-	if *connect == "" || *rank <= 0 || *size <= 0 {
-		fmt.Fprintln(os.Stderr, "fdworker: -connect, -rank and -size are required")
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "fdworker: -connect is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	policy, err := mlsearch.ParseReconnectPolicy(*reconnect)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdworker:", err)
 		os.Exit(2)
 	}
 	hooks := mlsearch.WorkerHooks{}
@@ -38,16 +44,8 @@ func main() {
 			return rng.Float64() >= *flaky
 		}
 	}
-	for {
-		err := mlsearch.RunTCPWorker(*connect, *rank, *size, *monitor, hooks)
-		if err == nil {
-			return
-		}
-		if *retryMs <= 0 {
-			fmt.Fprintln(os.Stderr, "fdworker:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "fdworker: %v; retrying in %dms\n", err, *retryMs)
-		time.Sleep(time.Duration(*retryMs) * time.Millisecond)
+	if err := mlsearch.ServeElastic(*connect, hooks, policy); err != nil {
+		fmt.Fprintln(os.Stderr, "fdworker:", err)
+		os.Exit(1)
 	}
 }

@@ -32,6 +32,14 @@ const (
 	TagEvent
 	// TagShutdown tells a process to exit its receive loop.
 	TagShutdown
+	// TagJoin announces that a worker joined the world. It is synthesized
+	// by the transport (never sent by application code) and delivered to
+	// the configured membership rank with From set to the new rank.
+	TagJoin
+	// TagLeave announces that a worker's connection dropped, synthesized
+	// like TagJoin. A rank that leaves never returns: a reconnecting
+	// worker is assigned a fresh rank.
+	TagLeave
 )
 
 // Wildcards accepted by Recv.
@@ -50,6 +58,10 @@ var (
 	ErrTimeout = errors.New("comm: receive timed out")
 	// ErrClosed reports use of a closed communicator.
 	ErrClosed = errors.New("comm: communicator closed")
+	// ErrNoRoute reports a Send to a rank with no live connection; the
+	// foreman treats it as an immediate worker departure instead of
+	// waiting for a task timeout.
+	ErrNoRoute = errors.New("comm: no route to rank")
 )
 
 // Message is one received message.

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -312,6 +313,172 @@ func TestTracedCommunicator(t *testing.T) {
 	}
 	if len(t0.Events()) != 5 {
 		t.Errorf("t0 has %d events", len(t0.Events()))
+	}
+}
+
+func TestElasticJoinAssignsRanksAndWelcome(t *testing.T) {
+	joined := make(chan int, 8)
+	router, err := NewElasticTCPRouter(RouterConfig{
+		Addr:         "127.0.0.1:0",
+		FirstDynamic: 2,
+		Welcome:      []byte("bundle-bytes"),
+		NotifyRank:   0,
+		OnJoin:       func(rank int) { joined <- rank },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	addr := router.(*tcpRouter).Addr().String()
+
+	w1, pay1, err := JoinTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w1.Close()
+	w2, pay2, err := JoinTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+
+	ranks := map[int]bool{w1.Rank(): true, w2.Rank(): true}
+	if !ranks[2] || !ranks[3] {
+		t.Errorf("assigned ranks %d and %d, want 2 and 3", w1.Rank(), w2.Rank())
+	}
+	if string(pay1) != "bundle-bytes" || string(pay2) != "bundle-bytes" {
+		t.Errorf("welcome payloads %q / %q", pay1, pay2)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-joined:
+			if !ranks[r] {
+				t.Errorf("OnJoin for unexpected rank %d", r)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("OnJoin callback missing")
+		}
+	}
+	// NotifyRank 0: the router's own mailbox sees the join messages.
+	for i := 0; i < 2; i++ {
+		m, err := router.RecvTimeout(AnySource, TagJoin, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ranks[m.From] {
+			t.Errorf("TagJoin from %d", m.From)
+		}
+	}
+	// Traffic flows to and from a dynamically assigned rank.
+	if err := router.Send(w1.Rank(), TagTask, []byte("work")); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := w1.Recv(0, TagTask); err != nil || string(m.Data) != "work" {
+		t.Fatalf("worker recv: %v %q", err, m.Data)
+	}
+}
+
+func TestElasticLeaveNotification(t *testing.T) {
+	left := make(chan int, 1)
+	router, err := NewElasticTCPRouter(RouterConfig{
+		Addr:         "127.0.0.1:0",
+		FirstDynamic: 2,
+		NotifyRank:   0,
+		OnLeave:      func(rank int) { left <- rank },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	addr := router.(*tcpRouter).Addr().String()
+
+	w, _, err := JoinTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := router.RecvTimeout(AnySource, TagJoin, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	m, err := router.RecvTimeout(AnySource, TagLeave, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != w.Rank() {
+		t.Errorf("TagLeave from %d, want %d", m.From, w.Rank())
+	}
+	select {
+	case r := <-left:
+		if r != w.Rank() {
+			t.Errorf("OnLeave rank %d", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnLeave callback missing")
+	}
+	// The departed rank is unroutable and never reused.
+	if err := router.Send(m.From, TagTask, nil); err == nil {
+		t.Error("send to departed rank succeeded")
+	}
+	w2, _, err := JoinTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.Rank() == w.Rank() {
+		t.Errorf("rank %d reused after departure", w.Rank())
+	}
+}
+
+func TestElasticPendingNotifyFlushedToRole(t *testing.T) {
+	// A worker joins before the membership rank (the foreman) attaches;
+	// the join notification must be queued and delivered on attach.
+	router, err := NewElasticTCPRouter(RouterConfig{
+		Addr:         "127.0.0.1:0",
+		FirstDynamic: 2,
+		NotifyRank:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	addr := router.(*tcpRouter).Addr().String()
+
+	w, _, err := JoinTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	role, err := DialTCPRole(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer role.Close()
+	m, err := role.RecvTimeout(AnySource, TagJoin, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != w.Rank() {
+		t.Errorf("queued TagJoin from %d, want %d", m.From, w.Rank())
+	}
+	// The role endpoint can message the dynamic rank (no size bound).
+	if err := role.Send(w.Rank(), TagTask, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := w.Recv(1, TagTask); err != nil || string(m.Data) != "hi" {
+		t.Fatalf("worker recv from role: %v %q", err, m.Data)
+	}
+}
+
+func TestRouterSendNoRoute(t *testing.T) {
+	router, err := NewTCPRouter("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	err = router.Send(2, TagTask, nil)
+	if !errors.Is(err, ErrNoRoute) {
+		t.Errorf("send to unconnected rank: %v, want ErrNoRoute", err)
 	}
 }
 

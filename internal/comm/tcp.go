@@ -16,50 +16,121 @@ import (
 // distributed PVM workers and Linux clusters (§2.2), and that the planned
 // Condor/screensaver workers would rely on (§5).
 //
+// Membership comes in two flavours. A *static* world (NewTCPRouter) has a
+// fixed size negotiated up front and every dialer claims its rank in the
+// HELLO. An *elastic* world (NewElasticTCPRouter) additionally accepts
+// anonymous joiners: a HELLO with rank -1 is answered by a WELCOME that
+// assigns the next free rank and carries an application-provided payload
+// (the data bundle), and the router synthesizes TagJoin/TagLeave messages
+// to a configured membership rank as such workers come and go. Ranks of
+// departed workers are never reused, so a late frame from a dead
+// incarnation can never be mistaken for a live one.
+//
 // Wire format, all fields big-endian:
 //
-//	frame  := length(u32) from(i32) to(i32) tag(i32) payload
-//	hello  := length(u32)=8 rank(i32) magic(i32)
+//	frame   := length(u32) from(i32) to(i32) tag(i32) payload
+//	hello   := length(u32)=8 rank(i32) magic(i32)      rank -1 = join
+//	welcome := rank(i32) paylen(u32) payload
 //
-// The router acknowledges a hello by echoing the rank.
+// The router acknowledges every hello with a welcome; for rank-claiming
+// dialers the payload is empty.
 
 const tcpMagic int32 = 0x46444d4c // "FDML"
+
+// helloJoin is the HELLO rank requesting dynamic rank assignment.
+const helloJoin int32 = -1
 
 // maxFrameSize bounds a single message (64 MiB), protecting the router
 // from corrupt length prefixes.
 const maxFrameSize = 64 << 20
 
+// RouterConfig configures an elastic TCP router.
+type RouterConfig struct {
+	// Addr is the listen address (for example "127.0.0.1:7946" or ":0").
+	Addr string
+	// FirstDynamic is the first rank handed to anonymous joiners; ranks
+	// 1..FirstDynamic-1 are reserved for dialers that claim them (the
+	// foreman and monitor loopback roles).
+	FirstDynamic int
+	// Welcome is the payload delivered to anonymous joiners with their
+	// assigned rank (the application's join handshake reply, e.g. the
+	// data bundle).
+	Welcome []byte
+	// NotifyRank receives synthesized TagJoin/TagLeave messages for
+	// anonymous joiners; -1 disables them. Notifications for a rank that
+	// has not yet connected are queued and flushed when it registers.
+	NotifyRank int
+	// OnJoin/OnLeave, when non-nil, are invoked in-process as anonymous
+	// workers come and go (the master's join barrier uses OnJoin).
+	OnJoin, OnLeave func(rank int)
+}
+
+type pendingNote struct {
+	rank int
+	tag  Tag
+}
+
 // tcpRouter is rank 0's endpoint plus the router state.
 type tcpRouter struct {
-	size     int
+	size     int // static world size; 0 in elastic mode
 	listener net.Listener
 	mb       *mailbox
 
-	mu    sync.Mutex
-	conns map[int]net.Conn
+	// Elastic membership.
+	elastic      bool
+	firstDynamic int
+	welcome      []byte
+	notifyRank   int
+	onJoin       func(int)
+	onLeave      func(int)
+
+	mu       sync.Mutex
+	conns    map[int]net.Conn
+	nextRank int
+	pending  []pendingNote
 
 	closed  bool
 	writeMu map[int]*sync.Mutex
 }
 
-// NewTCPRouter starts the rank-0 endpoint listening on addr (for example
-// "127.0.0.1:7946" or ":0"). size is the world size including rank 0.
-// Remote ranks connect with DialTCP. The returned Communicator's Close
-// shuts down the router.
+// NewTCPRouter starts a static-membership rank-0 endpoint listening on
+// addr. size is the world size including rank 0; remote ranks connect
+// with DialTCP. The returned Communicator's Close shuts down the router.
 func NewTCPRouter(addr string, size int) (Communicator, error) {
 	if size < 2 {
 		return nil, fmt.Errorf("comm: tcp world size %d, need >= 2", size)
 	}
+	return newRouter(addr, size, RouterConfig{NotifyRank: -1})
+}
+
+// NewElasticTCPRouter starts a rank-0 endpoint with dynamic membership:
+// anonymous dialers (JoinTCP) are assigned ranks FirstDynamic,
+// FirstDynamic+1, ... as they arrive, with no upper bound.
+func NewElasticTCPRouter(cfg RouterConfig) (Communicator, error) {
+	if cfg.FirstDynamic < 1 {
+		return nil, fmt.Errorf("comm: first dynamic rank %d, need >= 1", cfg.FirstDynamic)
+	}
+	return newRouter(cfg.Addr, 0, cfg)
+}
+
+func newRouter(addr string, size int, cfg RouterConfig) (Communicator, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("comm: listen %s: %w", addr, err)
 	}
 	r := &tcpRouter{
-		size:     size,
-		listener: ln,
-		mb:       newMailbox(),
-		conns:    map[int]net.Conn{},
-		writeMu:  map[int]*sync.Mutex{},
+		size:         size,
+		listener:     ln,
+		mb:           newMailbox(),
+		elastic:      size == 0,
+		firstDynamic: cfg.FirstDynamic,
+		welcome:      cfg.Welcome,
+		notifyRank:   cfg.NotifyRank,
+		onJoin:       cfg.OnJoin,
+		onLeave:      cfg.OnLeave,
+		conns:        map[int]net.Conn{},
+		nextRank:     cfg.FirstDynamic,
+		writeMu:      map[int]*sync.Mutex{},
 	}
 	go r.acceptLoop()
 	return r, nil
@@ -101,30 +172,150 @@ func (r *tcpRouter) handshake(conn net.Conn) {
 		return
 	}
 	rank := int(int32(binary.BigEndian.Uint32(hdr[4:8])))
-	if rank <= 0 || rank >= r.size {
+	dynamic := rank == int(helloJoin)
+	switch {
+	case dynamic:
+		if !r.elastic {
+			conn.Close()
+			return
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			conn.Close()
+			return
+		}
+		rank = r.nextRank
+		r.nextRank++
+		r.register(rank, conn)
+		r.mu.Unlock()
+	case r.validClaim(rank):
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if old, ok := r.conns[rank]; ok {
+			old.Close()
+		}
+		r.register(rank, conn)
+		r.mu.Unlock()
+	default:
 		conn.Close()
 		return
 	}
-	r.mu.Lock()
-	if old, ok := r.conns[rank]; ok {
-		old.Close()
+
+	var welcome []byte
+	if dynamic {
+		welcome = r.welcome
 	}
+	var ack [8]byte
+	binary.BigEndian.PutUint32(ack[0:4], uint32(int32(rank)))
+	binary.BigEndian.PutUint32(ack[4:8], uint32(len(welcome)))
+	wmu := r.writeLock(rank)
+	wmu.Lock()
+	_, err := conn.Write(ack[:])
+	if err == nil && len(welcome) > 0 {
+		_, err = conn.Write(welcome)
+	}
+	wmu.Unlock()
+	if err != nil {
+		r.drop(rank, conn)
+		return
+	}
+	if !dynamic && rank == r.notifyRank {
+		// Flush membership notifications that predate this role's
+		// connection (workers that joined before the foreman attached,
+		// e.g. reconnecting workers racing a master restart).
+		r.mu.Lock()
+		pend := r.pending
+		r.pending = nil
+		r.mu.Unlock()
+		for _, p := range pend {
+			r.forward(p.rank, rank, int32(p.tag), nil)
+		}
+	}
+	if dynamic {
+		r.notifyMember(rank, TagJoin)
+	}
+	go r.readLoop(rank, conn, dynamic)
+}
+
+// validClaim reports whether an explicitly claimed rank is acceptable.
+func (r *tcpRouter) validClaim(rank int) bool {
+	if r.elastic {
+		return rank > 0 && rank < r.firstDynamic
+	}
+	return rank > 0 && rank < r.size
+}
+
+// register records a connection; caller holds r.mu.
+func (r *tcpRouter) register(rank int, conn net.Conn) {
 	r.conns[rank] = conn
 	if r.writeMu[rank] == nil {
 		r.writeMu[rank] = &sync.Mutex{}
 	}
-	r.mu.Unlock()
-	// Ack.
-	var ack [4]byte
-	binary.BigEndian.PutUint32(ack[:], uint32(rank))
-	if _, err := conn.Write(ack[:]); err != nil {
-		conn.Close()
-		return
-	}
-	go r.readLoop(rank, conn)
 }
 
-func (r *tcpRouter) readLoop(rank int, conn net.Conn) {
+// writeLock returns the per-destination write mutex, creating it if
+// needed.
+func (r *tcpRouter) writeLock(rank int) *sync.Mutex {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.writeMu[rank] == nil {
+		r.writeMu[rank] = &sync.Mutex{}
+	}
+	return r.writeMu[rank]
+}
+
+// drop unregisters a connection if it is still current and closes it.
+func (r *tcpRouter) drop(rank int, conn net.Conn) {
+	r.mu.Lock()
+	if r.conns[rank] == conn {
+		delete(r.conns, rank)
+	}
+	r.mu.Unlock()
+	conn.Close()
+}
+
+// notifyMember reports an anonymous worker's arrival or departure to the
+// in-process callbacks and the configured membership rank.
+func (r *tcpRouter) notifyMember(rank int, tag Tag) {
+	switch tag {
+	case TagJoin:
+		if r.onJoin != nil {
+			r.onJoin(rank)
+		}
+	case TagLeave:
+		if r.onLeave != nil {
+			r.onLeave(rank)
+		}
+	}
+	nr := r.notifyRank
+	if nr < 0 {
+		return
+	}
+	if nr == 0 {
+		r.mb.mu.Lock()
+		if !r.mb.closed {
+			r.mb.queue = append(r.mb.queue, Message{From: rank, Tag: tag})
+		}
+		r.mb.mu.Unlock()
+		r.mb.pulse()
+		return
+	}
+	r.mu.Lock()
+	if r.conns[nr] == nil {
+		r.pending = append(r.pending, pendingNote{rank: rank, tag: tag})
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	r.forward(rank, nr, int32(tag), nil)
+}
+
+func (r *tcpRouter) readLoop(rank int, conn net.Conn, dynamic bool) {
 	for {
 		from, to, tag, payload, err := readFrame(conn)
 		if err != nil {
@@ -132,8 +323,12 @@ func (r *tcpRouter) readLoop(rank int, conn net.Conn) {
 			if r.conns[rank] == conn {
 				delete(r.conns, rank)
 			}
+			closed := r.closed
 			r.mu.Unlock()
 			conn.Close()
+			if dynamic && !closed {
+				r.notifyMember(rank, TagLeave)
+			}
 			return
 		}
 		if from != rank {
@@ -169,13 +364,26 @@ func (r *tcpRouter) forward(from, to int, tag int32, payload []byte) {
 }
 
 func (r *tcpRouter) Rank() int { return 0 }
-func (r *tcpRouter) Size() int { return r.size }
 
+// Size returns the static world size, or for elastic worlds the extent of
+// the rank space handed out so far.
+func (r *tcpRouter) Size() int {
+	if !r.elastic {
+		return r.size
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextRank
+}
+
+// Send routes a message to a connected rank. A rank with no live
+// connection yields ErrNoRoute, letting the caller treat the destination
+// as departed immediately instead of waiting out a timeout.
 func (r *tcpRouter) Send(to int, tag Tag, data []byte) error {
 	if to == 0 {
 		return fmt.Errorf("comm: rank 0 sending to itself")
 	}
-	if to < 0 || to >= r.size {
+	if to < 0 || (!r.elastic && to >= r.size) {
 		return fmt.Errorf("comm: send to rank %d of %d", to, r.size)
 	}
 	r.mu.Lock()
@@ -183,7 +391,11 @@ func (r *tcpRouter) Send(to int, tag Tag, data []byte) error {
 		r.mu.Unlock()
 		return ErrClosed
 	}
+	connected := r.conns[to] != nil
 	r.mu.Unlock()
+	if !connected {
+		return fmt.Errorf("comm: send to rank %d: %w", to, ErrNoRoute)
+	}
 	r.forward(0, to, int32(tag), data)
 	return nil
 }
@@ -217,19 +429,62 @@ func (r *tcpRouter) Close() error {
 // tcpClient is a non-zero rank connected to the router.
 type tcpClient struct {
 	rank, size int
-	conn       net.Conn
-	mb         *mailbox
-	writeMu    sync.Mutex
+	// elastic marks a client of a dynamic world: sends are not bounded
+	// by a world size (the foreman must reach ranks assigned after it
+	// attached).
+	elastic bool
+	conn    net.Conn
+	mb      *mailbox
+	writeMu sync.Mutex
 }
 
-// DialTCP connects rank (1..size-1) to a router at addr.
+// DialTCP connects rank (1..size-1) to a static router at addr.
 func DialTCP(addr string, rank, size int) (Communicator, error) {
 	if rank <= 0 || rank >= size {
 		return nil, fmt.Errorf("comm: tcp rank %d of %d (rank 0 is the router)", rank, size)
 	}
+	c, _, err := dial(addr, int32(rank))
+	if err != nil {
+		return nil, err
+	}
+	c.size = size
+	return c, nil
+}
+
+// DialTCPRole connects to an elastic router claiming a reserved role rank
+// (below the router's first dynamic rank). The returned endpoint may send
+// to any rank, including dynamically assigned ones.
+func DialTCPRole(addr string, rank int) (Communicator, error) {
+	if rank <= 0 {
+		return nil, fmt.Errorf("comm: tcp role rank %d (rank 0 is the router)", rank)
+	}
+	c, _, err := dial(addr, int32(rank))
+	if err != nil {
+		return nil, err
+	}
+	c.elastic = true
+	return c, nil
+}
+
+// JoinTCP connects to an elastic router with no pre-assigned identity.
+// The router assigns the next free rank and replies with the welcome
+// payload configured by the application (the join handshake of the
+// distributed runtime).
+func JoinTCP(addr string) (Communicator, []byte, error) {
+	c, welcome, err := dial(addr, helloJoin)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.elastic = true
+	return c, welcome, nil
+}
+
+// dial performs the HELLO/WELCOME handshake. rank is the claimed rank or
+// helloJoin for dynamic assignment.
+func dial(addr string, rank int32) (*tcpClient, []byte, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("comm: dial %s: %w", addr, err)
+		return nil, nil, fmt.Errorf("comm: dial %s: %w", addr, err)
 	}
 	var hello [12]byte
 	binary.BigEndian.PutUint32(hello[0:4], 8)
@@ -237,22 +492,36 @@ func DialTCP(addr string, rank, size int) (Communicator, error) {
 	binary.BigEndian.PutUint32(hello[8:12], uint32(tcpMagic))
 	if _, err := conn.Write(hello[:]); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("comm: handshake: %w", err)
+		return nil, nil, fmt.Errorf("comm: handshake: %w", err)
 	}
-	var ack [4]byte
+	var ack [8]byte
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
 	if _, err := io.ReadFull(conn, ack[:]); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("comm: handshake ack: %w", err)
+		return nil, nil, fmt.Errorf("comm: handshake ack: %w", err)
+	}
+	got := int(int32(binary.BigEndian.Uint32(ack[0:4])))
+	paylen := binary.BigEndian.Uint32(ack[4:8])
+	if rank != helloJoin && got != int(rank) {
+		conn.Close()
+		return nil, nil, fmt.Errorf("comm: router rejected rank %d", rank)
+	}
+	if got <= 0 || paylen > maxFrameSize {
+		conn.Close()
+		return nil, nil, fmt.Errorf("comm: bad welcome (rank %d, payload %d)", got, paylen)
+	}
+	var welcome []byte
+	if paylen > 0 {
+		welcome = make([]byte, paylen)
+		if _, err := io.ReadFull(conn, welcome); err != nil {
+			conn.Close()
+			return nil, nil, fmt.Errorf("comm: welcome payload: %w", err)
+		}
 	}
 	conn.SetReadDeadline(time.Time{})
-	if int(binary.BigEndian.Uint32(ack[:])) != rank {
-		conn.Close()
-		return nil, fmt.Errorf("comm: router rejected rank %d", rank)
-	}
-	c := &tcpClient{rank: rank, size: size, conn: conn, mb: newMailbox()}
+	c := &tcpClient{rank: got, size: got + 1, conn: conn, mb: newMailbox()}
 	go c.readLoop()
-	return c, nil
+	return c, welcome, nil
 }
 
 func (c *tcpClient) readLoop() {
@@ -281,7 +550,7 @@ func (c *tcpClient) Rank() int { return c.rank }
 func (c *tcpClient) Size() int { return c.size }
 
 func (c *tcpClient) Send(to int, tag Tag, data []byte) error {
-	if to < 0 || to >= c.size {
+	if to < 0 || (!c.elastic && to >= c.size) {
 		return fmt.Errorf("comm: send to rank %d of %d", to, c.size)
 	}
 	c.writeMu.Lock()

@@ -181,48 +181,27 @@ func Infer(a *seq.Alignment, opt Options) (*Inference, error) {
 		return nil, err
 	}
 
-	var results []*mlsearch.SearchResult
 	inf := &Inference{Model: cfg.Model, Patterns: cfg.Patterns}
 
-	if opt.Workers <= 0 {
-		seed := mlsearch.NormalizeSeed(cfg.Seed)
-		for j := 0; j < opt.Jumbles; j++ {
-			jcfg := cfg
-			jcfg.Seed = seed
-			jcfg.Jumble = j
-			seed += 2
-			disp, err := mlsearch.NewSerialDispatcher(jcfg)
-			if err != nil {
-				return nil, err
-			}
-			s, err := mlsearch.NewSearch(jcfg, disp)
-			if err != nil {
-				return nil, err
-			}
-			if opt.Progress != nil {
-				idx := j
-				s.Progress = func(e mlsearch.ProgressEvent) { opt.Progress(idx, e) }
-			}
-			res, err := s.Run()
-			if err != nil {
-				return nil, fmt.Errorf("core: jumble %d: %w", j, err)
-			}
-			results = append(results, res)
-		}
-	} else {
-		out, err := mlsearch.RunLocalParallel(cfg, mlsearch.LocalRunOptions{
-			Workers:     opt.Workers,
-			WithMonitor: opt.WithMonitor,
-			MonitorOut:  opt.MonitorOut,
-			Jumbles:     opt.Jumbles,
-			Progress:    opt.Progress,
-		})
-		if err != nil {
-			return nil, err
-		}
-		results = out.Results
-		inf.Monitor = out.Monitor
+	// One Run call covers both runtimes: the serial baseline and the
+	// in-process parallel program.
+	transport := mlsearch.Serial
+	if opt.Workers > 0 {
+		transport = mlsearch.Local
 	}
+	out, err := mlsearch.Run(cfg, mlsearch.RunOptions{
+		Transport:   transport,
+		Workers:     opt.Workers,
+		WithMonitor: opt.WithMonitor,
+		MonitorOut:  opt.MonitorOut,
+		Jumbles:     opt.Jumbles,
+		Progress:    opt.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := out.Results
+	inf.Monitor = out.Monitor
 
 	seed := mlsearch.NormalizeSeed(cfg.Seed)
 	for j, res := range results {

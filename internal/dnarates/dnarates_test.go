@@ -197,10 +197,11 @@ func TestRatesFeedBackIntoSearch(t *testing.T) {
 	}
 	m2, _ := mlsearch.NewDefaultModel(ratedPat)
 	cfg := mlsearch.Config{Taxa: ds.Alignment.Names, Patterns: ratedPat, Model: m2, Seed: 5, RearrangeExtent: 1}
-	res, err := mlsearch.RunSerial(cfg)
+	out, err := mlsearch.Run(cfg, mlsearch.RunOptions{Transport: mlsearch.Serial})
 	if err != nil {
 		t.Fatal(err)
 	}
+	res := out.Results[0]
 	got, err := tree.ParseNewick(res.BestNewick, cfg.Taxa)
 	if err != nil {
 		t.Fatal(err)

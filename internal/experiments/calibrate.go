@@ -48,10 +48,11 @@ func Calibrate(seed int64) (*Calibration, error) {
 			return nil, err
 		}
 		cfg := mlsearch.Config{Taxa: ds.Alignment.Names, Patterns: pat, Model: m, Seed: seed, RearrangeExtent: 2}
-		res, err := mlsearch.RunSerial(cfg)
+		out, err := mlsearch.Run(cfg, mlsearch.RunOptions{Transport: mlsearch.Serial})
 		if err != nil {
 			return nil, err
 		}
+		res := out.Results[0]
 
 		rearr, improved := 0, 0
 		npat := float64(pat.NumPatterns())
@@ -128,10 +129,11 @@ func MeasuredSweep(taxa, sites int, extent int, seed int64, procs []int) ([]Scal
 		return nil, err
 	}
 	cfg := mlsearch.Config{Taxa: ds.Alignment.Names, Patterns: pat, Model: m, Seed: seed, RearrangeExtent: extent}
-	res, err := mlsearch.RunSerial(cfg)
+	serialOut, err := mlsearch.Run(cfg, mlsearch.RunOptions{Transport: mlsearch.Serial})
 	if err != nil {
 		return nil, err
 	}
+	res := serialOut.Results[0]
 	log := spsim.FromSearchResult(res, fmt.Sprintf("measured %d taxa", taxa))
 
 	// A data set this small has sub-second tasks, so the paper-scale

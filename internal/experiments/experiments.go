@@ -409,7 +409,8 @@ func FlowDemo(w io.Writer, seed int64) error {
 		return err
 	}
 	cfg := mlsearch.Config{Taxa: ds.Alignment.Names, Patterns: pat, Model: m, Seed: seed, RearrangeExtent: 1}
-	out, err := mlsearch.RunLocalParallel(cfg, mlsearch.LocalRunOptions{
+	out, err := mlsearch.Run(cfg, mlsearch.RunOptions{
+		Transport:   mlsearch.Local,
 		Workers:     3,
 		WithMonitor: true,
 		MonitorOut:  w,

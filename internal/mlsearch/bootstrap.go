@@ -4,18 +4,19 @@ import (
 	"bytes"
 	"fmt"
 
-	"repro/internal/comm"
 	"repro/internal/model"
 	"repro/internal/seq"
 )
 
 // Worker bootstrap for distributed (TCP) runs. MPI programs typically
-// broadcast the sequence data to every rank at startup; here a joining
-// worker sends a JOIN control message to rank 0 and receives a DataBundle
-// carrying the alignment and model settings, then enters the normal
-// worker loop. This is what lets the paper's geographically distributed
-// PVM workers and the planned Condor/screensaver workers (§2.2, §5) run
-// with nothing but a socket to the master.
+// broadcast the sequence data to every rank at startup; here the master
+// hands the router a welcome payload — the layout's role ranks plus a
+// DataBundle carrying the alignment and model settings — and the
+// transport delivers it inside the join handshake, so a worker is fully
+// provisioned in one round trip. This is what lets the paper's
+// geographically distributed PVM workers and the planned
+// Condor/screensaver workers (§2.2, §5) run with nothing but a socket to
+// the master.
 
 // DataBundle is everything a worker needs to evaluate tasks.
 type DataBundle struct {
@@ -30,8 +31,8 @@ type DataBundle struct {
 }
 
 const (
-	bootJoin byte = 0x4A // 'J'
-	bootData byte = 0x44 // 'D'
+	bootData    byte = 0x44 // 'D'
+	bootWelcome byte = 0x57 // 'W'
 )
 
 // MarshalDataBundle encodes a bundle.
@@ -100,43 +101,44 @@ func (b DataBundle) Build() (model.Model, *seq.Patterns, []string, error) {
 	return m, pat, a.Names, nil
 }
 
-// ServeBundles answers the JOIN message of each expected worker with the
-// bundle. Rank 0 (the master) calls it before starting the search.
-func ServeBundles(c comm.Communicator, bundle DataBundle, expected int) error {
-	payload := MarshalDataBundle(bundle)
-	for i := 0; i < expected; i++ {
-		msg, err := c.Recv(comm.AnySource, comm.TagControl)
-		if err != nil {
-			return fmt.Errorf("mlsearch: waiting for workers (%d/%d joined): %w", i, expected, err)
-		}
-		if len(msg.Data) != 1 || msg.Data[0] != bootJoin {
-			return fmt.Errorf("mlsearch: unexpected control message from rank %d during join", msg.From)
-		}
-		if err := c.Send(msg.From, comm.TagControl, payload); err != nil {
-			return err
-		}
-	}
-	return nil
+// marshalWelcome encodes the payload the router hands each joining
+// worker: the layout's role ranks plus the data bundle.
+func marshalWelcome(lay Layout, bundle DataBundle) []byte {
+	var w wireWriter
+	w.buf = append(w.buf, bootWelcome)
+	w.i32(int32(lay.Master))
+	w.i32(int32(lay.Foreman))
+	w.i32(int32(lay.Monitor))
+	inner := MarshalDataBundle(bundle)
+	w.i32(int32(len(inner)))
+	w.buf = append(w.buf, inner...)
+	return w.buf
 }
 
-// JoinAndServe is the distributed worker's entry point: announce to rank
-// 0, receive the data bundle, and run the worker loop against the
-// layout's foreman.
-func JoinAndServe(c comm.Communicator, lay Layout, hooks WorkerHooks) error {
-	if err := c.Send(0, comm.TagControl, []byte{bootJoin}); err != nil {
-		return fmt.Errorf("mlsearch: join: %w", err)
+// unmarshalWelcome decodes a welcome payload into the layout the worker
+// should use and its data bundle.
+func unmarshalWelcome(data []byte) (Layout, DataBundle, error) {
+	if len(data) == 0 || data[0] != bootWelcome {
+		return Layout{}, DataBundle{}, fmt.Errorf("mlsearch: not a welcome payload")
 	}
-	msg, err := c.Recv(0, comm.TagControl)
+	r := wireReader{buf: data[1:]}
+	lay := Layout{
+		Master:  int(r.i32("welcome master")),
+		Foreman: int(r.i32("welcome foreman")),
+		Monitor: int(r.i32("welcome monitor")),
+		Elastic: true,
+	}
+	ln := r.i32("welcome bundle length")
+	if r.err == nil && (ln < 0 || r.off+int(ln) > len(r.buf)) {
+		r.fail("welcome bundle body")
+	}
+	if r.err != nil {
+		return Layout{}, DataBundle{}, r.done("welcome")
+	}
+	bundle, err := UnmarshalDataBundle(r.buf[r.off : r.off+int(ln)])
 	if err != nil {
-		return fmt.Errorf("mlsearch: awaiting data bundle: %w", err)
+		return Layout{}, DataBundle{}, err
 	}
-	bundle, err := UnmarshalDataBundle(msg.Data)
-	if err != nil {
-		return err
-	}
-	m, pat, taxa, err := bundle.Build()
-	if err != nil {
-		return err
-	}
-	return RunWorker(c, lay, m, pat, taxa, hooks)
+	r.off += int(ln)
+	return lay, bundle, r.done("welcome")
 }

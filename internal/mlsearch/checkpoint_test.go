@@ -186,7 +186,7 @@ func TestResumeDone(t *testing.T) {
 // must rank at least as well as a random tree.
 func TestEvaluateUserTrees(t *testing.T) {
 	cfg := testConfig(t, 7, 200, 35)
-	res, err := RunSerial(cfg)
+	res, err := runSerial(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

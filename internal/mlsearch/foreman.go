@@ -16,31 +16,59 @@ import (
 // record of the tree dispatched to each worker and the time the tree was
 // dispatched (used to implement fault tolerance)."
 //
-// Worker liveness state persists across rounds: a worker removed for
-// missing its deadline stays removed until a reply (however stale)
-// arrives from it, at which point it is reinstated.
+// Membership is dynamic: besides the statically configured workers of a
+// local run, the transport may announce workers joining (TagJoin) or
+// leaving (TagLeave) at any time, including mid-round. New arrivals are
+// folded into the ready queue; departures reuse the expire/requeue
+// machinery that already handles delinquent workers. Worker liveness
+// state persists across rounds: a worker removed for missing its
+// deadline stays removed until a reply (however stale) arrives from it,
+// at which point it is reinstated. A worker that *disconnects* is gone
+// for good — its rank is never reassigned.
+//
+// Degradation ladder: (1) all workers healthy — pure dispatch; (2) some
+// delinquent — timeout, requeue, reinstate on late reply; (3) a worker
+// disconnects — immediate requeue of its task, no timeout wait; (4) the
+// live worker set hits zero — the foreman evaluates queued tasks inline
+// (Options.Inline) so a run always completes, folding newly joined
+// workers back in the moment they arrive.
+
+// InlineWorker is the Result.Worker value recorded when the foreman
+// evaluated a task itself because no live workers remained.
+const InlineWorker int32 = -1
 
 // ForemanOptions tune dispatch behaviour.
 type ForemanOptions struct {
 	// TaskTimeout is the paper's user-specified timeout parameter: a
 	// worker that fails to return an evaluated tree within it is removed
 	// from the list of available workers and its tree is re-dispatched.
-	// Zero disables fault tolerance. Default 60s.
+	// Zero disables timeout-based fault tolerance: the foreman blocks in
+	// a plain Recv between results instead of polling for deadlines
+	// (disconnects still requeue a dead worker's task immediately).
 	TaskTimeout time.Duration
-	// Tick bounds how long the foreman blocks between deadline scans.
-	// Default 50ms, or TaskTimeout/4 if smaller.
+	// Tick bounds how long the foreman blocks between deadline scans
+	// while dispatched tasks have live deadlines; with no expirable
+	// deadline the foreman blocks indefinitely. Default 50ms, or
+	// TaskTimeout/4 if smaller.
 	Tick time.Duration
+	// Inline, when non-nil, lets the foreman evaluate tasks itself when
+	// no live workers remain, so a round always completes (the runtime
+	// wires an evaluator over the same data set the workers use).
+	Inline *Evaluator
+	// DrainTimeout bounds how long shutdown waits for workers to
+	// acknowledge before closing anyway. Default 1s.
+	DrainTimeout time.Duration
 }
 
 func (o ForemanOptions) withDefaults() ForemanOptions {
-	if o.TaskTimeout == 0 {
-		o.TaskTimeout = 60 * time.Second
-	}
 	if o.Tick <= 0 {
 		o.Tick = 50 * time.Millisecond
 		if o.TaskTimeout > 0 && o.TaskTimeout/4 < o.Tick {
 			o.Tick = o.TaskTimeout / 4
 		}
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = time.Second
 	}
 	return o
 }
@@ -51,17 +79,22 @@ type foreman struct {
 	lay Layout
 	opt ForemanOptions
 
+	// members tracks every currently connected worker rank (including
+	// delinquent ones); departures are removed permanently.
+	members map[int]bool
 	// ready lists idle, alive workers (FIFO).
 	ready []int
 	// busy maps a worker rank to its current assignment.
 	busy map[int]dispatchRecord
-	// dead marks workers removed for missing a deadline.
+	// dead marks workers removed for missing a deadline (still
+	// connected, eligible for reinstatement).
 	dead map[int]bool
 
 	// Per-round state.
 	queue   []Task
 	byID    map[uint64]Task
 	results map[uint64]Result
+	round   uint64
 }
 
 type dispatchRecord struct {
@@ -78,29 +111,40 @@ func RunForeman(c comm.Communicator, lay Layout, opt ForemanOptions) error {
 		return err
 	}
 	f := &foreman{
-		c:    c,
-		lay:  lay,
-		opt:  opt.withDefaults(),
-		busy: map[int]dispatchRecord{},
-		dead: map[int]bool{},
+		c:       c,
+		lay:     lay,
+		opt:     opt.withDefaults(),
+		members: map[int]bool{},
+		busy:    map[int]dispatchRecord{},
+		dead:    map[int]bool{},
 	}
-	f.ready = append(f.ready, lay.Workers...)
+	for _, w := range lay.Workers {
+		f.members[w] = true
+		f.ready = append(f.ready, w)
+	}
 
 	for {
-		msg, err := c.Recv(lay.Master, comm.AnyTag)
+		msg, err := c.Recv(comm.AnySource, comm.AnyTag)
 		if err != nil {
 			return fmt.Errorf("mlsearch: foreman receive: %w", err)
 		}
 		switch msg.Tag {
 		case comm.TagShutdown:
-			for _, w := range lay.Workers {
-				_ = c.Send(w, comm.TagShutdown, nil)
-			}
-			if lay.Monitor >= 0 {
-				_ = c.Send(lay.Monitor, comm.TagShutdown, nil)
-			}
+			f.shutdown()
 			return nil
+		case comm.TagJoin:
+			f.handleJoin(msg.From)
+		case comm.TagLeave:
+			f.handleLeave(msg.From)
+		case comm.TagResult:
+			// A stale reply between rounds still reinstates its sender.
+			if err := f.handleResult(msg); err != nil {
+				return err
+			}
 		case comm.TagControl:
+			if msg.From != lay.Master {
+				return fmt.Errorf("mlsearch: foreman got control from rank %d", msg.From)
+			}
 			batch, err := unmarshalRoundBatch(msg.Data)
 			if err != nil {
 				return err
@@ -118,11 +162,42 @@ func RunForeman(c comm.Communicator, lay Layout, opt ForemanOptions) error {
 	}
 }
 
+// shutdown broadcasts TagShutdown to every connected worker, waits
+// briefly for their acknowledgements (so frames drain before the caller
+// tears the transport down), then releases the monitor.
+func (f *foreman) shutdown() {
+	waiting := map[int]bool{}
+	for w := range f.members {
+		if f.c.Send(w, comm.TagShutdown, nil) == nil {
+			waiting[w] = true
+		}
+	}
+	deadline := time.Now().Add(f.opt.DrainTimeout)
+	for len(waiting) > 0 {
+		d := time.Until(deadline)
+		if d <= 0 {
+			break
+		}
+		msg, err := f.c.RecvTimeout(comm.AnySource, comm.AnyTag, d)
+		if err != nil {
+			break
+		}
+		switch msg.Tag {
+		case comm.TagShutdown, comm.TagLeave:
+			delete(waiting, msg.From)
+		}
+	}
+	if f.lay.Monitor >= 0 {
+		_ = f.c.Send(f.lay.Monitor, comm.TagShutdown, nil)
+	}
+}
+
 // runRound dispatches a batch until every task completes.
 func (f *foreman) runRound(batch roundBatch) (roundReply, error) {
 	f.queue = append([]Task(nil), batch.Tasks...)
 	f.byID = map[uint64]Task{}
 	f.results = map[uint64]Result{}
+	f.round = batch.Round
 	for _, t := range batch.Tasks {
 		f.byID[t.ID] = t
 	}
@@ -130,11 +205,40 @@ func (f *foreman) runRound(batch roundBatch) (roundReply, error) {
 
 	for len(f.results) < len(f.byID) {
 		f.assign()
-		msg, err := f.c.RecvTimeout(comm.AnySource, comm.TagResult, f.opt.Tick)
+
+		// Degradation: with no live worker to wait for and work still
+		// queued, evaluate inline rather than stalling the round. A
+		// worker joining mid-round is folded in on its TagJoin.
+		if len(f.queue) > 0 && len(f.ready) == 0 && len(f.busy) == 0 && f.opt.Inline != nil {
+			if err := f.evalInline(); err != nil {
+				return roundReply{}, err
+			}
+			continue
+		}
+
+		// Block outright unless a dispatched task's deadline can expire;
+		// with fault tolerance off (TaskTimeout 0) or nothing in flight
+		// there is no reason to wake every tick.
+		var msg comm.Message
+		var err error
+		if f.opt.TaskTimeout > 0 && len(f.busy) > 0 {
+			msg, err = f.c.RecvTimeout(comm.AnySource, comm.AnyTag, f.opt.Tick)
+		} else {
+			msg, err = f.c.Recv(comm.AnySource, comm.AnyTag)
+		}
 		switch err {
 		case nil:
-			if err := f.handleResult(msg); err != nil {
-				return roundReply{}, err
+			switch msg.Tag {
+			case comm.TagResult:
+				if err := f.handleResult(msg); err != nil {
+					return roundReply{}, err
+				}
+			case comm.TagJoin:
+				f.handleJoin(msg.From)
+			case comm.TagLeave:
+				f.handleLeave(msg.From)
+			default:
+				return roundReply{}, fmt.Errorf("mlsearch: foreman got tag %d mid-round", msg.Tag)
 			}
 		case comm.ErrTimeout:
 			// fall through to the deadline scan
@@ -160,6 +264,56 @@ func (f *foreman) runRound(batch roundBatch) (roundReply, error) {
 	}
 	f.event(monRoundDone, 0, batch.Round, fmt.Sprintf("best=%.4f", best.LnL))
 	return roundReply{Round: batch.Round, Best: best, Stats: stripped}, nil
+}
+
+// evalInline evaluates the next queued task in the foreman itself — the
+// bottom rung of the degradation ladder, keeping the run alive with an
+// empty worker set.
+func (f *foreman) evalInline() error {
+	t := f.queue[0]
+	f.queue = f.queue[1:]
+	if _, done := f.results[t.ID]; done {
+		return nil
+	}
+	res, err := f.opt.Inline.Evaluate(t)
+	if err != nil {
+		return fmt.Errorf("mlsearch: foreman inline: %w", err)
+	}
+	res.Worker = InlineWorker
+	f.results[t.ID] = res
+	f.event(monInline, int(InlineWorker), t.Round, fmt.Sprintf("task=%d lnl=%.4f", t.ID, res.LnL))
+	return nil
+}
+
+// handleJoin folds a newly announced worker into the membership and the
+// ready queue (mid-round joins start pulling tasks immediately).
+func (f *foreman) handleJoin(w int) {
+	f.members[w] = true
+	f.pushReady(w)
+	f.event(monWorkerJoined, w, f.round, "")
+}
+
+// handleLeave removes a departed worker permanently. Its in-flight task
+// is requeued at the front, reusing the expire/requeue machinery's
+// ordering so re-dispatch happens before fresh work.
+func (f *foreman) handleLeave(w int) {
+	delete(f.members, w)
+	delete(f.dead, w)
+	for i, r := range f.ready {
+		if r == w {
+			f.ready = append(f.ready[:i], f.ready[i+1:]...)
+			break
+		}
+	}
+	info := ""
+	if rec, ok := f.busy[w]; ok {
+		delete(f.busy, w)
+		if _, done := f.results[rec.task.ID]; !done {
+			f.queue = append([]Task{rec.task}, f.queue...)
+			info = fmt.Sprintf("task=%d requeued", rec.task.ID)
+		}
+	}
+	f.event(monWorkerLeft, w, f.round, info)
 }
 
 // pushReady returns a worker to the ready queue, clearing its dead flag
@@ -193,9 +347,11 @@ func (f *foreman) assign() {
 			rec.deadline = now.Add(f.opt.TaskTimeout)
 		}
 		if err := f.c.Send(w, comm.TagTask, MarshalTask(t)); err != nil {
-			// Treat an unsendable worker as dead and requeue the task.
-			f.dead[w] = true
+			// An unroutable worker has disconnected: drop it from the
+			// membership and requeue the task immediately.
 			f.queue = append([]Task{t}, f.queue...)
+			delete(f.members, w)
+			delete(f.dead, w)
 			f.event(monWorkerDead, w, t.Round, "send failed")
 			continue
 		}
@@ -219,6 +375,9 @@ func (f *foreman) handleResult(msg comm.Message) error {
 		// list of workers available to analyze trees."
 		f.event(monWorkerRevived, w, res.Round, "")
 	}
+	// A reply proves liveness even if the transport never announced the
+	// sender (e.g. a membership race): make sure it is a member.
+	f.members[w] = true
 	if rec, ok := f.busy[w]; ok && rec.task.ID == res.TaskID {
 		delete(f.busy, w)
 	}

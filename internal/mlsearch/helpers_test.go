@@ -19,3 +19,13 @@ func newTestWorld(t *testing.T, size int) []comm.Communicator {
 	})
 	return world
 }
+
+// runSerial is the tests' shorthand for one search on the Serial
+// transport of the unified Run API.
+func runSerial(cfg Config) (*SearchResult, error) {
+	out, err := Run(cfg, RunOptions{Transport: Serial})
+	if err != nil {
+		return nil, err
+	}
+	return out.Results[0], nil
+}

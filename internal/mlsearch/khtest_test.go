@@ -10,7 +10,7 @@ import (
 
 func TestKishinoHasegawaRanksAndTests(t *testing.T) {
 	cfg := testConfig(t, 8, 600, 61)
-	res, err := RunSerial(cfg)
+	res, err := runSerial(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestKishinoHasegawaNearTies(t *testing.T) {
 	// Two NNI-adjacent trees on weak data should usually NOT be called
 	// significantly different.
 	cfg := testConfig(t, 6, 60, 63)
-	res, err := RunSerial(cfg)
+	res, err := runSerial(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestKishinoHasegawaErrors(t *testing.T) {
 // still matches serial — the volunteer-computing scenario of §2.2/§5.
 func TestWorkerChurnPermanentDeath(t *testing.T) {
 	cfg := testConfig(t, 7, 150, 67)
-	serial, err := RunSerial(cfg)
+	serial, err := runSerial(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,8 @@ func TestWorkerChurnPermanentDeath(t *testing.T) {
 			return count <= 5 // dies permanently after 5 replies
 		}},
 	}
-	out, err := RunLocalParallel(cfg, LocalRunOptions{
+	out, err := Run(cfg, RunOptions{
+		Transport:   Local,
 		Workers:     2,
 		WorkerHooks: hooks,
 		Foreman:     ForemanOptions{TaskTimeout: 100_000_000, Tick: 10_000_000}, // 100ms / 10ms

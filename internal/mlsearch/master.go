@@ -68,39 +68,11 @@ func (d *ForemanDispatcher) Shutdown() error {
 
 // RunMaster performs count jumbles (random orderings) of the search on
 // the parallel runtime and returns each jumble's result. Seeds advance by
-// 2 per jumble from cfg.Seed (keeping them odd). The caller should invoke
-// Shutdown via the returned dispatcher when done; RunMaster does it
-// automatically.
+// 2 per jumble from cfg.Seed (keeping them odd). Shutdown of the world is
+// automatic.
 func RunMaster(c comm.Communicator, lay Layout, cfg Config, count int, progress func(int, ProgressEvent)) ([]*SearchResult, error) {
 	if count < 1 {
 		count = 1
 	}
-	disp, err := NewForemanDispatcher(c, lay)
-	if err != nil {
-		return nil, err
-	}
-	defer func() { _ = disp.Shutdown() }()
-
-	var out []*SearchResult
-	seed := NormalizeSeed(cfg.Seed)
-	for j := 0; j < count; j++ {
-		jcfg := cfg
-		jcfg.Seed = seed
-		jcfg.Jumble = j
-		seed += 2
-		s, err := NewSearch(jcfg, disp)
-		if err != nil {
-			return nil, err
-		}
-		if progress != nil {
-			idx := j
-			s.Progress = func(e ProgressEvent) { progress(idx, e) }
-		}
-		res, err := s.Run()
-		if err != nil {
-			return nil, fmt.Errorf("mlsearch: jumble %d: %w", j, err)
-		}
-		out = append(out, res)
-	}
-	return out, nil
+	return runMasterSide(c, lay, cfg, RunOptions{Jumbles: count, Progress: progress})
 }

@@ -21,6 +21,9 @@ const (
 	monWorkerDead
 	monWorkerRevived
 	monRoundDone
+	monWorkerJoined
+	monWorkerLeft
+	monInline
 )
 
 // MonitorEvent is one instrumentation record.
@@ -76,6 +79,13 @@ type MonitorStats struct {
 	Deaths map[int]int
 	// Revivals counts delinquent workers welcomed back per rank.
 	Revivals map[int]int
+	// Joins counts workers that joined the world at runtime.
+	Joins int
+	// Leaves counts workers whose connection dropped.
+	Leaves int
+	// Inline counts tasks the foreman evaluated itself because no live
+	// workers remained.
+	Inline int
 	// Events retains the full event log.
 	Events []MonitorEvent
 }
@@ -129,6 +139,15 @@ func RunMonitor(c comm.Communicator, w io.Writer, verbose bool) (*MonitorStats, 
 		case monWorkerRevived:
 			stats.Revivals[int(e.Worker)]++
 			logf("monitor: worker %d reinstated\n", e.Worker)
+		case monWorkerJoined:
+			stats.Joins++
+			logf("monitor: worker %d joined\n", e.Worker)
+		case monWorkerLeft:
+			stats.Leaves++
+			logf("monitor: worker %d left (%s)\n", e.Worker, e.Info)
+		case monInline:
+			stats.Inline++
+			logf("monitor: foreman evaluated inline (%s)\n", e.Info)
 		case monRoundDone:
 			stats.Rounds++
 			if verbose {

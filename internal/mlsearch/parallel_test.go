@@ -14,12 +14,12 @@ import (
 // a pure work distribution; it must not change results).
 func TestParallelMatchesSerial(t *testing.T) {
 	cfg := testConfig(t, 8, 180, 11)
-	serial, err := RunSerial(cfg)
+	serial, err := runSerial(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 3, 7} {
-		out, err := RunLocalParallel(cfg, LocalRunOptions{Workers: workers})
+		out, err := Run(cfg, RunOptions{Transport: Local, Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -41,7 +41,8 @@ func TestParallelMatchesSerial(t *testing.T) {
 func TestParallelWithMonitor(t *testing.T) {
 	cfg := testConfig(t, 7, 150, 13)
 	var buf bytes.Buffer
-	out, err := RunLocalParallel(cfg, LocalRunOptions{
+	out, err := Run(cfg, RunOptions{
+		Transport:   Local,
 		Workers:     3,
 		WithMonitor: true,
 		MonitorOut:  &buf,
@@ -71,7 +72,7 @@ func TestParallelWithMonitor(t *testing.T) {
 // (paper §2.2).
 func TestFaultToleranceDroppedReplies(t *testing.T) {
 	cfg := testConfig(t, 7, 120, 17)
-	serial, err := RunSerial(cfg)
+	serial, err := runSerial(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,8 @@ func TestFaultToleranceDroppedReplies(t *testing.T) {
 			return true
 		}},
 	}
-	out, err := RunLocalParallel(cfg, LocalRunOptions{
+	out, err := Run(cfg, RunOptions{
+		Transport:   Local,
 		Workers:     3,
 		WorkerHooks: hooks,
 		Foreman:     ForemanOptions{TaskTimeout: 150 * time.Millisecond, Tick: 20 * time.Millisecond},
@@ -154,6 +156,9 @@ func TestFaultToleranceSlowWorker(t *testing.T) {
 				return
 			}
 			if msg.Tag == comm.TagShutdown {
+				// Real workers ack shutdown so the foreman's drain can
+				// finish promptly; the scripted ones must too.
+				_ = world[rank].Send(1, comm.TagShutdown, nil)
 				return
 			}
 			task, err := UnmarshalTask(msg.Data)
@@ -219,7 +224,7 @@ func TestFaultToleranceSlowWorker(t *testing.T) {
 // distinct orders; the best-of-jumbles tree is well-formed.
 func TestMultipleJumbles(t *testing.T) {
 	cfg := testConfig(t, 6, 120, 23)
-	out, err := RunLocalParallel(cfg, LocalRunOptions{Workers: 2, Jumbles: 3})
+	out, err := Run(cfg, RunOptions{Transport: Local, Workers: 2, Jumbles: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,8 +20,38 @@ type Layout struct {
 	Foreman int
 	// Monitor receives instrumentation events; -1 disables it.
 	Monitor int
-	// Workers optimize trees.
+	// Workers optimize trees. In an elastic layout this is the initial
+	// membership (usually empty); workers announce themselves through the
+	// transport's join handshake.
 	Workers []int
+	// Elastic marks a layout whose worker set changes at runtime: the
+	// foreman folds TagJoin/TagLeave transport messages into its
+	// membership instead of requiring Workers up front.
+	Elastic bool
+}
+
+// ElasticLayout is the distributed runtime's layout: fixed role ranks for
+// the master (0), foreman (1), and optional monitor (2), with workers
+// assigned ranks dynamically as they join.
+func ElasticLayout(withMonitor bool) Layout {
+	lay := Layout{Master: 0, Foreman: 1, Monitor: -1, Elastic: true}
+	if withMonitor {
+		lay.Monitor = 2
+	}
+	return lay
+}
+
+// FirstDynamicRank is the first rank the transport may assign to a
+// joining worker: one past the highest role rank.
+func (l Layout) FirstDynamicRank() int {
+	first := l.Master
+	if l.Foreman > first {
+		first = l.Foreman
+	}
+	if l.Monitor > first {
+		first = l.Monitor
+	}
+	return first + 1
 }
 
 // DefaultLayout maps a world of the given size onto the paper's layout:
@@ -68,7 +98,7 @@ func (l Layout) Validate() error {
 			return err
 		}
 	}
-	if len(l.Workers) == 0 {
+	if len(l.Workers) == 0 && !l.Elastic {
 		return fmt.Errorf("mlsearch: layout has no workers")
 	}
 	for _, w := range l.Workers {

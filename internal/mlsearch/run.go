@@ -1,0 +1,273 @@
+package mlsearch
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/likelihood"
+)
+
+// Run is the single entry point to the search runtime. One Config plus
+// one RunOptions selects between the paper's serial program, the
+// in-process parallel program (goroutine ranks), and the distributed TCP
+// program with elastic worker membership — the same search algorithm
+// behind three transports, the way fastDNAml swaps comm_mpi.c for
+// comm_pvm.c without touching the inference code.
+
+// Transport selects how a Run executes its task rounds.
+type Transport int
+
+// Transports.
+const (
+	// Serial evaluates every task in the calling goroutine — the
+	// uniprocessor baseline of the scaling study.
+	Serial Transport = iota
+	// Local runs master, foreman, workers (and optionally the monitor)
+	// as goroutines connected by the in-process comm backend.
+	Local
+	// TCP hosts the distributed program: this process runs the router,
+	// master, foreman, and optional monitor; workers join over sockets
+	// (cmd/fdworker) and may come and go at any time.
+	TCP
+)
+
+// String names the transport.
+func (t Transport) String() string {
+	switch t {
+	case Serial:
+		return "serial"
+	case Local:
+		return "local"
+	case TCP:
+		return "tcp"
+	}
+	return fmt.Sprintf("transport(%d)", int(t))
+}
+
+// RunOptions configure Run across every transport. Zero value = one
+// serial search.
+type RunOptions struct {
+	// Transport selects the runtime.
+	Transport Transport
+
+	// Workers: for Local, the number of worker goroutines (>= 1). For
+	// TCP, the number of workers to wait for before starting the search
+	// (0 starts immediately; the foreman evaluates inline until workers
+	// join). Ignored for Serial.
+	Workers int
+	// WithMonitor adds the instrumentation process (Local and TCP).
+	WithMonitor bool
+	// Jumbles is the number of random orderings to run (>= 1).
+	Jumbles int
+	// Foreman tunes dispatch fault tolerance (Local and TCP).
+	Foreman ForemanOptions
+	// MonitorOut receives monitor output lines (nil discards).
+	MonitorOut io.Writer
+	// WorkerHooks, keyed by rank, perturb Local workers for fault
+	// injection tests.
+	WorkerHooks map[int]WorkerHooks
+	// Progress receives per-round events (jumble index, event).
+	Progress func(int, ProgressEvent)
+	// OnCheckpoint receives a resumable position (jumble index,
+	// checkpoint) after every completed taxon addition.
+	OnCheckpoint func(int, Checkpoint)
+	// Resume, when non-nil, continues a previously checkpointed search
+	// instead of starting fresh. Requires Jumbles <= 1.
+	Resume *Checkpoint
+
+	// Addr is the TCP listen address (e.g. ":7946" or "127.0.0.1:0").
+	Addr string
+	// Bundle is the dataset shipped to joining TCP workers inside the
+	// join handshake.
+	Bundle DataBundle
+	// OnListen, when non-nil, is invoked with the bound address before
+	// waiting for workers (useful with ":0" and for tests).
+	OnListen func(net.Addr)
+	// OnMember, when non-nil, observes elastic membership from the
+	// hosting process: OnMember(rank, true) on join, (rank, false) on
+	// leave.
+	OnMember func(rank int, joined bool)
+}
+
+// RunOutcome is the result of a Run.
+type RunOutcome struct {
+	// Results holds one SearchResult per jumble.
+	Results []*SearchResult
+	// Monitor holds the monitor statistics when the monitor ran.
+	Monitor *MonitorStats
+}
+
+// Run executes a complete search (all jumbles) on the selected
+// transport.
+func Run(cfg Config, opt RunOptions) (*RunOutcome, error) {
+	if opt.Jumbles < 1 {
+		opt.Jumbles = 1
+	}
+	if opt.Resume != nil && opt.Jumbles > 1 {
+		return nil, fmt.Errorf("mlsearch: cannot resume a %d-jumble run (checkpoints describe one ordering)", opt.Jumbles)
+	}
+	switch opt.Transport {
+	case Serial:
+		return runSerialTransport(cfg, opt)
+	case Local:
+		return runLocalTransport(cfg, opt)
+	case TCP:
+		return runTCPTransport(cfg, opt)
+	}
+	return nil, fmt.Errorf("mlsearch: unknown transport %d", int(opt.Transport))
+}
+
+// runJumbles executes opt.Jumbles searches against a dispatcher, the
+// shared core of every transport's master side. Seeds advance by 2 per
+// jumble from cfg.Seed (keeping them odd, §2.1).
+func runJumbles(disp Dispatcher, cfg Config, opt RunOptions) ([]*SearchResult, error) {
+	var out []*SearchResult
+	seed := NormalizeSeed(cfg.Seed)
+	for j := 0; j < opt.Jumbles; j++ {
+		jcfg := cfg
+		jcfg.Seed = seed
+		jcfg.Jumble = j
+		seed += 2
+		if opt.Resume != nil {
+			jcfg.Seed = opt.Resume.Seed
+			jcfg.Jumble = opt.Resume.Jumble
+		}
+		s, err := NewSearch(jcfg, disp)
+		if err != nil {
+			return nil, err
+		}
+		idx := j
+		if opt.Progress != nil {
+			s.Progress = func(e ProgressEvent) { opt.Progress(idx, e) }
+		}
+		if opt.OnCheckpoint != nil {
+			s.OnCheckpoint = func(cp Checkpoint) { opt.OnCheckpoint(idx, cp) }
+		}
+		var res *SearchResult
+		if opt.Resume != nil {
+			res, err = s.Resume(*opt.Resume)
+		} else {
+			res, err = s.Run()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mlsearch: jumble %d: %w", j, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runSerialTransport(cfg Config, opt RunOptions) (*RunOutcome, error) {
+	disp, err := NewSerialDispatcher(cfg)
+	if err != nil {
+		return nil, err
+	}
+	results, err := runJumbles(disp, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &RunOutcome{Results: results}, nil
+}
+
+func runLocalTransport(cfg Config, opt RunOptions) (*RunOutcome, error) {
+	if opt.Workers < 1 {
+		return nil, fmt.Errorf("mlsearch: %d workers, need >= 1", opt.Workers)
+	}
+	norm, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	size := opt.Workers + 2
+	if opt.WithMonitor {
+		size++
+	}
+	world, err := comm.NewLocal(size)
+	if err != nil {
+		return nil, err
+	}
+	lay, err := DefaultLayout(size, opt.WithMonitor)
+	if err != nil {
+		return nil, err
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, size)
+
+	// Foreman.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := RunForeman(world[lay.Foreman], lay, opt.Foreman); err != nil {
+			errs <- fmt.Errorf("foreman: %w", err)
+		}
+	}()
+
+	// Monitor.
+	outcome := &RunOutcome{}
+	if opt.WithMonitor {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats, err := RunMonitor(world[lay.Monitor], opt.MonitorOut, false)
+			if err != nil {
+				errs <- fmt.Errorf("monitor: %w", err)
+				return
+			}
+			outcome.Monitor = stats
+		}()
+	}
+
+	// Workers.
+	for _, w := range lay.Workers {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			hooks := WorkerHooks{}
+			if opt.WorkerHooks != nil {
+				hooks = opt.WorkerHooks[rank]
+			}
+			if err := RunWorker(world[rank], lay, norm.Model, norm.Patterns, norm.Taxa, hooks); err != nil {
+				errs <- fmt.Errorf("worker %d: %w", rank, err)
+			}
+		}(w)
+	}
+
+	// Master (this goroutine).
+	results, masterErr := runMasterSide(world[lay.Master], lay, norm, opt)
+	wg.Wait()
+	close(errs)
+	if masterErr != nil {
+		return nil, masterErr
+	}
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	outcome.Results = results
+	return outcome, nil
+}
+
+// runMasterSide executes the master role over a communicator: run the
+// jumbles through the foreman, then shut the world down.
+func runMasterSide(c comm.Communicator, lay Layout, norm Config, opt RunOptions) ([]*SearchResult, error) {
+	disp, err := NewForemanDispatcher(c, lay)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = disp.Shutdown() }()
+	return runJumbles(disp, norm, opt)
+}
+
+// newInlineEvaluator builds the evaluator the foreman falls back to when
+// the live worker set is empty (TCP degradation ladder, bottom rung).
+func newInlineEvaluator(norm Config) (*Evaluator, error) {
+	eng, err := likelihood.New(norm.Model, norm.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	return NewEvaluator(eng, norm.Taxa), nil
+}

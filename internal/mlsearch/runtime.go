@@ -1,19 +1,15 @@
 package mlsearch
 
 import (
-	"fmt"
 	"io"
-	"sync"
-
-	"repro/internal/comm"
 )
 
-// Local parallel runtime: all four roles run as goroutines connected by
-// the in-process comm backend. This is how a single multi-core machine
-// runs the parallel program, and how the integration tests drive the full
-// master/foreman/worker/monitor protocol.
+// Deprecated wrappers for the pre-unification local runtime API. New
+// code should call Run with RunOptions{Transport: Local}.
 
 // LocalRunOptions configure RunLocalParallel.
+//
+// Deprecated: use RunOptions with Transport Local.
 type LocalRunOptions struct {
 	// Workers is the number of worker processes (>= 1).
 	Workers int
@@ -34,96 +30,26 @@ type LocalRunOptions struct {
 }
 
 // LocalRunOutcome is the result of a local parallel run.
-type LocalRunOutcome struct {
-	// Results holds one SearchResult per jumble.
-	Results []*SearchResult
-	// Monitor holds the monitor statistics when the monitor ran.
-	Monitor *MonitorStats
-}
+//
+// Deprecated: use RunOutcome.
+type LocalRunOutcome = RunOutcome
 
 // RunLocalParallel runs the full parallel program in-process and returns
 // every jumble's result. The world size is workers + 2 (or +3 with the
 // monitor), mirroring the paper's processor accounting where "the
 // dedication of three processors to control and monitoring tasks keeps
 // the scalability well below perfect" (§3.2).
-func RunLocalParallel(cfg Config, opt LocalRunOptions) (*LocalRunOutcome, error) {
-	if opt.Workers < 1 {
-		return nil, fmt.Errorf("mlsearch: %d workers, need >= 1", opt.Workers)
-	}
-	if opt.Jumbles < 1 {
-		opt.Jumbles = 1
-	}
-	norm, err := cfg.Normalize()
-	if err != nil {
-		return nil, err
-	}
-	size := opt.Workers + 2
-	if opt.WithMonitor {
-		size++
-	}
-	world, err := comm.NewLocal(size)
-	if err != nil {
-		return nil, err
-	}
-	lay, err := DefaultLayout(size, opt.WithMonitor)
-	if err != nil {
-		return nil, err
-	}
-
-	var wg sync.WaitGroup
-	errs := make(chan error, size)
-
-	// Foreman.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		if err := RunForeman(world[lay.Foreman], lay, opt.Foreman); err != nil {
-			errs <- fmt.Errorf("foreman: %w", err)
-		}
-	}()
-
-	// Monitor.
-	outcome := &LocalRunOutcome{}
-	if opt.WithMonitor {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			stats, err := RunMonitor(world[lay.Monitor], opt.MonitorOut, false)
-			if err != nil {
-				errs <- fmt.Errorf("monitor: %w", err)
-				return
-			}
-			outcome.Monitor = stats
-		}()
-	}
-
-	// Workers.
-	for _, w := range lay.Workers {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			hooks := WorkerHooks{}
-			if opt.WorkerHooks != nil {
-				hooks = opt.WorkerHooks[rank]
-			}
-			if err := RunWorker(world[rank], lay, norm.Model, norm.Patterns, norm.Taxa, hooks); err != nil {
-				errs <- fmt.Errorf("worker %d: %w", rank, err)
-			}
-		}(w)
-	}
-
-	// Master (this goroutine).
-	results, masterErr := RunMaster(world[lay.Master], lay, norm, opt.Jumbles, opt.Progress)
-	wg.Wait()
-	close(errs)
-	if masterErr != nil {
-		return nil, masterErr
-	}
-	for err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	outcome.Results = results
-	return outcome, nil
+//
+// Deprecated: use Run with RunOptions{Transport: Local}.
+func RunLocalParallel(cfg Config, opt LocalRunOptions) (*RunOutcome, error) {
+	return Run(cfg, RunOptions{
+		Transport:   Local,
+		Workers:     opt.Workers,
+		WithMonitor: opt.WithMonitor,
+		Jumbles:     opt.Jumbles,
+		Foreman:     opt.Foreman,
+		MonitorOut:  opt.MonitorOut,
+		WorkerHooks: opt.WorkerHooks,
+		Progress:    opt.Progress,
+	})
 }

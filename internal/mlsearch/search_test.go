@@ -35,7 +35,7 @@ func testConfig(t *testing.T, taxa, sites int, seed int64) Config {
 
 func TestSerialSearchBasics(t *testing.T) {
 	cfg := testConfig(t, 8, 200, 42)
-	res, err := RunSerial(cfg)
+	res, err := runSerial(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,11 +65,11 @@ func TestSerialSearchBasics(t *testing.T) {
 
 func TestSearchDeterministicAcrossRuns(t *testing.T) {
 	cfg := testConfig(t, 7, 150, 9)
-	r1, err := RunSerial(cfg)
+	r1, err := runSerial(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := RunSerial(cfg)
+	r2, err := runSerial(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,11 +85,11 @@ func TestSearchDifferentSeedsDifferentOrders(t *testing.T) {
 	cfg := testConfig(t, 7, 150, 9)
 	cfg2 := cfg
 	cfg2.Seed = cfg.Seed + 2
-	r1, err := RunSerial(cfg)
+	r1, err := runSerial(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := RunSerial(cfg2)
+	r2, err := runSerial(cfg2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestSearchRecoversTrueTopology(t *testing.T) {
 	pat, _ := seq.Compress(ds.Alignment, seq.CompressOptions{})
 	m, _ := NewDefaultModel(pat)
 	cfg := Config{Taxa: ds.Alignment.Names, Patterns: pat, Model: m, Seed: 3, RearrangeExtent: 2}
-	res, err := RunSerial(cfg)
+	res, err := runSerial(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestSearchRecoversTrueTopology(t *testing.T) {
 // full taxon count.
 func TestSearchRoundLogShape(t *testing.T) {
 	cfg := testConfig(t, 6, 120, 5)
-	res, err := RunSerial(cfg)
+	res, err := runSerial(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,13 +182,13 @@ func TestSearchImprovesOverNoRearrangement(t *testing.T) {
 	cfg := testConfig(t, 8, 150, 21)
 	cfg.RearrangeExtent = 0
 	cfg.FinalExtent = 0
-	plain, err := RunSerial(cfg)
+	plain, err := runSerial(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.RearrangeExtent = 2
 	cfg.FinalExtent = 0 // defaults to RearrangeExtent in Normalize
-	rearr, err := RunSerial(cfg)
+	rearr, err := runSerial(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,21 +254,21 @@ func TestAdaptiveExtent(t *testing.T) {
 
 	fixed1 := cfg
 	fixed1.FinalExtent = 1
-	resFixed1, err := RunSerial(fixed1)
+	resFixed1, err := runSerial(fixed1)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	fixed3 := cfg
 	fixed3.RearrangeExtent = 3
-	resFixed3, err := RunSerial(fixed3)
+	resFixed3, err := runSerial(fixed3)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	adaptive := cfg
 	adaptive.AdaptiveExtent = true
-	resAdaptive, err := RunSerial(adaptive)
+	resAdaptive, err := runSerial(adaptive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestAdaptiveExtent(t *testing.T) {
 			resAdaptive.TotalTasks, resFixed3.TotalTasks)
 	}
 	// Determinism.
-	resAgain, err := RunSerial(adaptive)
+	resAgain, err := runSerial(adaptive)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,14 +39,12 @@ func (d *SerialDispatcher) Dispatch(tasks []Task) ([]Result, error) {
 }
 
 // RunSerial performs a complete serial search for the configuration.
+//
+// Deprecated: use Run with RunOptions{Transport: Serial}.
 func RunSerial(cfg Config) (*SearchResult, error) {
-	disp, err := NewSerialDispatcher(cfg)
+	out, err := Run(cfg, RunOptions{Transport: Serial})
 	if err != nil {
 		return nil, err
 	}
-	s, err := NewSearch(cfg, disp)
-	if err != nil {
-		return nil, err
-	}
-	return s.Run()
+	return out.Results[0], nil
 }

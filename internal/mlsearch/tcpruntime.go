@@ -3,103 +3,101 @@ package mlsearch
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/comm"
 )
 
-// Distributed (TCP) runtime. One operating system process hosts rank 0
-// (the TCP router and the master role) plus the foreman and optional
-// monitor as loopback-connected ranks; worker processes anywhere on the
-// network join with cmd/fdworker. The division of labour matches the
-// paper exactly — master, foreman, monitor, and a variable number of
-// workers (§2.2) — while the transport is this reproduction's custom
-// message-passing substrate (no MPI exists for Go).
+// Distributed (TCP) runtime with elastic membership. One operating
+// system process hosts rank 0 (the TCP router and the master role) plus
+// the foreman and optional monitor as loopback-connected ranks; worker
+// processes anywhere on the network join with cmd/fdworker, carrying no
+// pre-assigned identity: the join handshake assigns each a fresh rank
+// and delivers the data bundle. Workers may join or leave at any point,
+// including mid-round — the paper's fault-tolerant dispatch (§2.2) is
+// what makes this safe, and it is the property the planned
+// Condor/screensaver workers (§5) would rely on.
 
-// TCPMasterOptions configure RunTCPMaster.
-type TCPMasterOptions struct {
-	// Addr is the listen address (e.g. ":7946" or "127.0.0.1:0").
-	Addr string
-	// Workers is the number of worker processes expected to join.
-	Workers int
-	// WithMonitor dedicates rank 2 to instrumentation.
-	WithMonitor bool
-	// Jumbles is the number of random orderings to run.
-	Jumbles int
-	// Foreman tunes fault tolerance.
-	Foreman ForemanOptions
-	// MonitorOut receives monitor output (nil discards).
-	MonitorOut io.Writer
-	// Bundle is the dataset shipped to joining workers.
-	Bundle DataBundle
-	// Progress receives per-round events.
-	Progress func(int, ProgressEvent)
-	// OnListen, when non-nil, is invoked with the bound address before
-	// waiting for workers (useful with ":0" and for tests).
-	OnListen func(net.Addr)
-}
-
-// WorkerRanks returns the rank interval workers must join with for a
-// world of the given options: [first, first+Workers).
-func (o TCPMasterOptions) WorkerRanks() (first, size int) {
-	first = 2
-	if o.WithMonitor {
-		first = 3
+// runTCPTransport hosts the distributed run for Run.
+func runTCPTransport(cfg Config, opt RunOptions) (*RunOutcome, error) {
+	if opt.Workers < 0 {
+		return nil, fmt.Errorf("mlsearch: negative worker barrier %d", opt.Workers)
 	}
-	return first, first + o.Workers
-}
-
-// RunTCPMaster hosts the distributed run and returns each jumble's
-// result. It blocks until all expected workers join, runs the searches,
-// and shuts the world down.
-func RunTCPMaster(cfg Config, opt TCPMasterOptions) (*LocalRunOutcome, error) {
-	if opt.Workers < 1 {
-		return nil, fmt.Errorf("mlsearch: %d workers expected, need >= 1", opt.Workers)
-	}
-	if opt.Jumbles < 1 {
-		opt.Jumbles = 1
+	if len(opt.Bundle.PhylipText) == 0 {
+		return nil, fmt.Errorf("mlsearch: tcp run needs a data bundle for joining workers")
 	}
 	norm, err := cfg.Normalize()
 	if err != nil {
 		return nil, err
 	}
-	_, size := opt.WorkerRanks()
-	lay, err := DefaultLayout(size, opt.WithMonitor)
-	if err != nil {
-		return nil, err
+	lay := ElasticLayout(opt.WithMonitor)
+
+	// The foreman always gets an inline evaluator: a TCP run must
+	// complete even if every worker disappears (degradation ladder).
+	foremanOpt := opt.Foreman
+	if foremanOpt.Inline == nil {
+		inline, err := newInlineEvaluator(norm)
+		if err != nil {
+			return nil, err
+		}
+		foremanOpt.Inline = inline
 	}
 
-	router, err := comm.NewTCPRouter(opt.Addr, size)
+	// Join barrier: the master waits for opt.Workers joins before
+	// starting the search (0 = start immediately).
+	var (
+		joinMu    sync.Mutex
+		joined    int
+		joinCond  = sync.NewCond(&joinMu)
+		barrierOK = opt.Workers == 0
+	)
+	onJoin := func(rank int) {
+		joinMu.Lock()
+		joined++
+		if joined >= opt.Workers {
+			barrierOK = true
+		}
+		joinCond.Broadcast()
+		joinMu.Unlock()
+		if opt.OnMember != nil {
+			opt.OnMember(rank, true)
+		}
+	}
+	onLeave := func(rank int) {
+		if opt.OnMember != nil {
+			opt.OnMember(rank, false)
+		}
+	}
+
+	router, err := comm.NewElasticTCPRouter(comm.RouterConfig{
+		Addr:         opt.Addr,
+		FirstDynamic: lay.FirstDynamicRank(),
+		Welcome:      marshalWelcome(lay, opt.Bundle),
+		NotifyRank:   lay.Foreman,
+		OnJoin:       onJoin,
+		OnLeave:      onLeave,
+	})
 	if err != nil {
 		return nil, err
 	}
 	defer router.Close()
 	addr, _ := comm.ListenAddr(router)
-	if opt.OnListen != nil && addr != nil {
-		opt.OnListen(addr)
-	}
 
-	// Loopback ranks for the foreman and monitor roles.
-	foremanComm, err := comm.DialTCP(addr.String(), lay.Foreman, size)
-	if err != nil {
-		return nil, fmt.Errorf("mlsearch: foreman loopback: %w", err)
-	}
-	defer foremanComm.Close()
-
+	// Loopback ranks for the role processes. The monitor attaches before
+	// the foreman: the foreman's attach flushes any join notifications
+	// that predate it, and handling those emits monitor events that
+	// would otherwise be dropped. Workers that dial even earlier (e.g.
+	// reconnecting ones racing a master restart) are queued by the
+	// router until the foreman is here.
 	var wg sync.WaitGroup
 	errs := make(chan error, 4)
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		if err := RunForeman(foremanComm, lay, opt.Foreman); err != nil {
-			errs <- fmt.Errorf("foreman: %w", err)
-		}
-	}()
-
-	outcome := &LocalRunOutcome{}
+	outcome := &RunOutcome{}
 	if opt.WithMonitor {
-		monitorComm, err := comm.DialTCP(addr.String(), lay.Monitor, size)
+		monitorComm, err := comm.DialTCPRole(addr.String(), lay.Monitor)
 		if err != nil {
 			return nil, fmt.Errorf("mlsearch: monitor loopback: %w", err)
 		}
@@ -116,12 +114,31 @@ func RunTCPMaster(cfg Config, opt TCPMasterOptions) (*LocalRunOutcome, error) {
 		}()
 	}
 
-	// Wait for every worker to join and ship the dataset.
-	if err := ServeBundles(router, opt.Bundle, opt.Workers); err != nil {
-		return nil, err
+	foremanComm, err := comm.DialTCPRole(addr.String(), lay.Foreman)
+	if err != nil {
+		return nil, fmt.Errorf("mlsearch: foreman loopback: %w", err)
+	}
+	defer foremanComm.Close()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := RunForeman(foremanComm, lay, foremanOpt); err != nil {
+			errs <- fmt.Errorf("foreman: %w", err)
+		}
+	}()
+
+	if opt.OnListen != nil && addr != nil {
+		opt.OnListen(addr)
 	}
 
-	results, masterErr := RunMaster(router, lay, norm, opt.Jumbles, opt.Progress)
+	// Wait out the join barrier.
+	joinMu.Lock()
+	for !barrierOK {
+		joinCond.Wait()
+	}
+	joinMu.Unlock()
+
+	results, masterErr := runMasterSide(router, lay, norm, opt)
 	wg.Wait()
 	close(errs)
 	if masterErr != nil {
@@ -136,26 +153,183 @@ func RunTCPMaster(cfg Config, opt TCPMasterOptions) (*LocalRunOutcome, error) {
 	return outcome, nil
 }
 
-// RunTCPWorker joins a distributed run as one worker rank and serves
-// until shutdown.
-func RunTCPWorker(addr string, rank, size int, withMonitor bool, hooks WorkerHooks) error {
-	lay, err := DefaultLayout(size, withMonitor)
-	if err != nil {
-		return err
+// ReconnectPolicy governs a worker's jittered exponential backoff when
+// its connection to the master drops (or cannot be established yet).
+// The zero value reconnects forever with the defaults — the right
+// behaviour for a volunteer worker that should survive master restarts.
+type ReconnectPolicy struct {
+	// Disabled turns reconnection off: the worker serves one connection
+	// and returns.
+	Disabled bool
+	// Base is the first backoff delay. Default 250ms.
+	Base time.Duration
+	// Cap bounds the backoff. Default 15s.
+	Cap time.Duration
+	// MaxAttempts bounds consecutive failed connection attempts; 0
+	// retries forever. The counter resets after a successful join.
+	MaxAttempts int
+}
+
+func (p ReconnectPolicy) withDefaults() ReconnectPolicy {
+	if p.Base <= 0 {
+		p.Base = 250 * time.Millisecond
 	}
-	ok := false
-	for _, w := range lay.Workers {
-		if w == rank {
-			ok = true
+	if p.Cap <= 0 {
+		p.Cap = 15 * time.Second
+	}
+	return p
+}
+
+// backoff returns the jittered delay before attempt n (0-based):
+// uniformly random in (0, min(Cap, Base*2^n)], the "full jitter"
+// scheme that avoids reconnection stampedes after a master restart.
+func (p ReconnectPolicy) backoff(n int, rng *rand.Rand) time.Duration {
+	d := p.Base
+	for i := 0; i < n && d < p.Cap; i++ {
+		d *= 2
+	}
+	if d > p.Cap {
+		d = p.Cap
+	}
+	return time.Duration(1 + rng.Int63n(int64(d)))
+}
+
+// ParseReconnectPolicy parses the CLI form of a policy: "on" (defaults),
+// "off", or comma-separated settings like "base=500ms,cap=30s,max=10".
+func ParseReconnectPolicy(s string) (ReconnectPolicy, error) {
+	var p ReconnectPolicy
+	switch strings.TrimSpace(s) {
+	case "", "on":
+		return p, nil
+	case "off":
+		p.Disabled = true
+		return p, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return p, fmt.Errorf("mlsearch: bad reconnect setting %q (want key=value)", part)
+		}
+		var err error
+		switch key {
+		case "base":
+			p.Base, err = time.ParseDuration(val)
+		case "cap":
+			p.Cap, err = time.ParseDuration(val)
+		case "max":
+			_, err = fmt.Sscanf(val, "%d", &p.MaxAttempts)
+		default:
+			return p, fmt.Errorf("mlsearch: unknown reconnect setting %q", key)
+		}
+		if err != nil {
+			return p, fmt.Errorf("mlsearch: bad reconnect %s: %w", key, err)
 		}
 	}
-	if !ok {
-		return fmt.Errorf("mlsearch: rank %d is not a worker rank in a world of %d", rank, size)
+	return p, nil
+}
+
+// ServeElastic is the distributed worker's entry point: join the master
+// at addr with no pre-assigned identity, receive a rank and the data
+// bundle in the handshake, and serve tasks until shutdown. When the
+// connection drops — a network fault or a master restart — the worker
+// reconnects under the policy's jittered exponential backoff and is
+// assigned a fresh rank, resuming from the master's checkpoint state.
+func ServeElastic(addr string, hooks WorkerHooks, policy ReconnectPolicy) error {
+	policy = policy.withDefaults()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	failures := 0
+	for {
+		c, welcome, err := comm.JoinTCP(addr)
+		if err == nil {
+			failures = 0
+			err = serveConnection(c, welcome, hooks)
+			c.Close()
+			if err == nil {
+				return nil // clean shutdown from the foreman
+			}
+		}
+		if policy.Disabled {
+			return err
+		}
+		failures++
+		if policy.MaxAttempts > 0 && failures >= policy.MaxAttempts {
+			return fmt.Errorf("mlsearch: giving up after %d attempts: %w", failures, err)
+		}
+		time.Sleep(policy.backoff(failures-1, rng))
 	}
-	c, err := comm.DialTCP(addr, rank, size)
+}
+
+// serveConnection runs one joined worker session to completion. A nil
+// return means the foreman sent shutdown; any error means the session
+// ended abnormally (usually a dropped connection) and the caller may
+// reconnect.
+func serveConnection(c comm.Communicator, welcome []byte, hooks WorkerHooks) error {
+	lay, bundle, err := unmarshalWelcome(welcome)
 	if err != nil {
 		return err
 	}
-	defer c.Close()
-	return JoinAndServe(c, lay, hooks)
+	m, pat, taxa, err := bundle.Build()
+	if err != nil {
+		return err
+	}
+	if hooks.OnAttach != nil {
+		hooks.OnAttach(c)
+	}
+	return RunWorker(c, lay, m, pat, taxa, hooks)
+}
+
+// TCPMasterOptions configure RunTCPMaster.
+//
+// Deprecated: use Run with RunOptions{Transport: TCP}.
+type TCPMasterOptions struct {
+	// Addr is the listen address (e.g. ":7946" or "127.0.0.1:0").
+	Addr string
+	// Workers is the number of workers to wait for before starting.
+	Workers int
+	// WithMonitor dedicates a rank to instrumentation.
+	WithMonitor bool
+	// Jumbles is the number of random orderings to run.
+	Jumbles int
+	// Foreman tunes fault tolerance.
+	Foreman ForemanOptions
+	// MonitorOut receives monitor output (nil discards).
+	MonitorOut io.Writer
+	// Bundle is the dataset shipped to joining workers.
+	Bundle DataBundle
+	// Progress receives per-round events.
+	Progress func(int, ProgressEvent)
+	// OnListen, when non-nil, is invoked with the bound address before
+	// waiting for workers (useful with ":0" and for tests).
+	OnListen func(net.Addr)
+}
+
+// RunTCPMaster hosts a distributed run.
+//
+// Deprecated: use Run with RunOptions{Transport: TCP}.
+func RunTCPMaster(cfg Config, opt TCPMasterOptions) (*RunOutcome, error) {
+	return Run(cfg, RunOptions{
+		Transport:   TCP,
+		Addr:        opt.Addr,
+		Workers:     opt.Workers,
+		WithMonitor: opt.WithMonitor,
+		Jumbles:     opt.Jumbles,
+		Foreman:     opt.Foreman,
+		MonitorOut:  opt.MonitorOut,
+		Bundle:      opt.Bundle,
+		Progress:    opt.Progress,
+		OnListen:    opt.OnListen,
+	})
+}
+
+// RunTCPWorker joins a distributed run as one worker and serves until
+// shutdown. The rank, size, and withMonitor arguments of the static
+// runtime are ignored: the router assigns the rank and the welcome
+// payload carries the layout.
+//
+// Deprecated: use ServeElastic.
+func RunTCPWorker(addr string, rank, size int, withMonitor bool, hooks WorkerHooks) error {
+	_ = rank
+	_ = size
+	_ = withMonitor
+	return ServeElastic(addr, hooks, ReconnectPolicy{Disabled: true})
 }

@@ -22,6 +22,10 @@ type WorkerHooks struct {
 	// crashed or stalled worker); the foreman's timeout machinery must
 	// then recover.
 	BeforeReply func(task Task, result Result) bool
+	// OnAttach, when non-nil, receives the worker's communicator right
+	// after it connects and learns its rank. The chaos tests use it to
+	// sever a live connection from outside (simulating a SIGKILL).
+	OnAttach func(c comm.Communicator)
 }
 
 // RunWorker executes the worker loop: receive a task from the foreman,
@@ -39,6 +43,10 @@ func RunWorker(c comm.Communicator, lay Layout, m model.Model, pat *seq.Patterns
 		}
 		switch msg.Tag {
 		case comm.TagShutdown:
+			// Acknowledge so the foreman knows the shutdown was delivered
+			// before the transport is torn down. Best effort: the route
+			// may already be gone.
+			_ = c.Send(lay.Foreman, comm.TagShutdown, nil)
 			return nil
 		case comm.TagTask:
 			task, err := UnmarshalTask(msg.Data)
