@@ -1,12 +1,21 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet staticcheck build test race bench chaos-soak
 
 # Tier-1 gate: everything that must pass before a change lands.
-check: vet build test race
+check: vet staticcheck build test race
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the tool is on PATH (CI installs it); local
+# environments without it skip with a note rather than failing.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -21,3 +30,8 @@ race:
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem .
+
+# The elastic-membership chaos soak under the race detector, archiving
+# its BENCH_*.json report into bench/ (CI uploads it as an artifact).
+chaos-soak:
+	FDML_BENCH_DIR=bench $(GO) test -race -count=1 -run TestTCPChaosSoak ./internal/mlsearch/

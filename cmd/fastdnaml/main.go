@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/fileio"
 	"repro/internal/mlsearch"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/seq"
 	"repro/internal/tree"
 	"repro/internal/viewer"
@@ -50,6 +52,8 @@ func main() {
 		checkpoint  = flag.String("checkpoint", "", "write a restart file here after every taxon addition (one jumble; serial or -listen)")
 		resume      = flag.String("resume", "", "resume a search from this restart file")
 		adaptive    = flag.Bool("adaptive", false, "adapt the rearrangement extent to recent success (paper §5)")
+		statusAddr  = flag.String("status-addr", "", "serve /metrics, /status, and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		benchJSON   = flag.String("bench-json", "", "write a BENCH_<run>.json report into this directory at end of run")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -66,6 +70,7 @@ func main() {
 		modelName: *modelName, kappa: *kappa, gtrRates: *gtrRates,
 		userTrees: *userTrees, bootstrap: *bootstrap,
 		checkpoint: *checkpoint, resume: *resume, adaptive: *adaptive,
+		statusAddr: *statusAddr, benchJSON: *benchJSON,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "fastdnaml:", err)
 		os.Exit(1)
@@ -84,6 +89,14 @@ type options struct {
 	bootstrap                                         int
 	checkpoint, resume                                string
 	adaptive                                          bool
+	statusAddr, benchJSON                             string
+
+	// observer is created when -status-addr or -bench-json asks for
+	// instrumentation; start stamps the run's wall clock and runName
+	// names the BENCH_<run>.json file.
+	observer *mlsearch.RunObserver
+	start    time.Time
+	runName  string
 }
 
 func run(inPath string, o options) error {
@@ -141,10 +154,30 @@ func run(inPath string, o options) error {
 		AdaptiveExtent:  o.adaptive,
 		Workers:         o.workers,
 		WithMonitor:     o.monitor,
-		MonitorOut:      os.Stderr,
+		MonitorOut:      obs.NewLockedWriter(os.Stderr),
 		SiteRates:       rates,
 		Weights:         weights,
 		Progress:        progress,
+	}
+
+	o.start = time.Now()
+	o.runName = strings.TrimSuffix(filepath.Base(inPath), filepath.Ext(inPath)) +
+		"_s" + strconv.FormatInt(o.seed, 10)
+	if o.statusAddr != "" || o.benchJSON != "" {
+		o.observer = mlsearch.NewRunObserver(obs.NewRegistry(), obs.NewBus())
+		opt.Obs = o.observer
+		if o.statusAddr != "" {
+			srv, err := obs.NewStatusServer(obs.StatusOptions{
+				Addr:     o.statusAddr,
+				Registry: o.observer.Registry(),
+				Snapshot: func() any { return o.observer.Snapshot() },
+			})
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Printf("status server on http://%s (/metrics, /status, /debug/pprof)\n", srv.Addr())
+		}
 	}
 
 	switch {
@@ -318,8 +351,9 @@ func runDistributed(a *seq.Alignment, opt core.Options, o options) error {
 		Workers:     o.netWorkers,
 		WithMonitor: o.monitor,
 		Jumbles:     o.jumbles,
-		MonitorOut:  os.Stderr,
+		MonitorOut:  obs.NewLockedWriter(os.Stderr),
 		Foreman:     mlsearch.ForemanOptions{TaskTimeout: o.taskTimeout},
+		Obs:         opt.Obs,
 		Bundle: mlsearch.DataBundle{
 			PhylipText: []byte(phylip.String()),
 			TTRatio:    opt.TTRatio,
@@ -449,5 +483,57 @@ func report(inf *core.Inference, a *seq.Alignment, o options) error {
 		}
 		fmt.Printf("\nwrote %s.trees and %s.best.tree\n", o.outPrefix, o.outPrefix)
 	}
+	return writeBenchReport(inf, o)
+}
+
+// writeBenchReport dumps a machine-readable BENCH_<run>.json into the
+// -bench-json directory: per-jumble outcomes, monitor counters when the
+// monitor ran, and the observer's run snapshot when one was attached.
+func writeBenchReport(inf *core.Inference, o options) error {
+	if o.benchJSON == "" {
+		return nil
+	}
+	totals := map[string]float64{
+		"jumbles":  float64(len(inf.Jumbles)),
+		"best_lnl": inf.Best.LnL,
+	}
+	type jumbleBench struct {
+		Seed  int64   `json:"seed"`
+		LnL   float64 `json:"lnl"`
+		Tasks int     `json:"tasks"`
+		Ops   uint64  `json:"ops"`
+	}
+	var jb []jumbleBench
+	for _, j := range inf.Jumbles {
+		b := jumbleBench{Seed: j.Seed, LnL: j.LnL}
+		if j.Search != nil {
+			b.Tasks = j.Search.TotalTasks
+			b.Ops = j.Search.TotalOps
+			totals["tasks"] += float64(b.Tasks)
+			totals["ops"] += float64(b.Ops)
+		}
+		jb = append(jb, b)
+	}
+	details := map[string]any{"jumbles": jb}
+	if m := inf.Monitor; m != nil {
+		details["monitor"] = map[string]int{
+			"rounds": m.Rounds, "dispatches": m.Dispatches, "results": m.Results,
+			"deaths": len(m.Deaths), "revivals": len(m.Revivals),
+			"joins": m.Joins, "leaves": m.Leaves, "inline": m.Inline,
+		}
+	}
+	if o.observer != nil {
+		details["run"] = o.observer.Snapshot()
+	}
+	path, err := obs.WriteBench(o.benchJSON, obs.BenchReport{
+		Run:       o.runName,
+		StartedAt: o.start,
+		Totals:    totals,
+		Details:   details,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }

@@ -17,14 +17,16 @@ import (
 	"os"
 
 	"repro/internal/mlsearch"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		connect   = flag.String("connect", "", "master address (required), e.g. host:7946")
-		reconnect = flag.String("reconnect", "on", "reconnect policy: on, off, or base=250ms,cap=15s,max=0")
-		flaky     = flag.Float64("flaky", 0, "drop this fraction of replies (fault tolerance demos)")
-		seed      = flag.Int64("flaky-seed", 1, "seed for -flaky")
+		connect    = flag.String("connect", "", "master address (required), e.g. host:7946")
+		reconnect  = flag.String("reconnect", "on", "reconnect policy: on, off, or base=250ms,cap=15s,max=0")
+		flaky      = flag.Float64("flaky", 0, "drop this fraction of replies (fault tolerance demos)")
+		seed       = flag.Int64("flaky-seed", 1, "seed for -flaky")
+		statusAddr = flag.String("status-addr", "", "serve /metrics, /status, and /debug/pprof on this address")
 	)
 	flag.Parse()
 	if *connect == "" {
@@ -38,6 +40,22 @@ func main() {
 		os.Exit(2)
 	}
 	hooks := mlsearch.WorkerHooks{}
+	if *statusAddr != "" {
+		reg := obs.NewRegistry()
+		wobs := mlsearch.NewWorkerObserver(reg)
+		hooks.Obs = wobs
+		srv, err := obs.NewStatusServer(obs.StatusOptions{
+			Addr:     *statusAddr,
+			Registry: reg,
+			Snapshot: func() any { return wobs.Snapshot() },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdworker:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Printf("status server on http://%s (/metrics, /status, /debug/pprof)\n", srv.Addr())
+	}
 	if *flaky > 0 {
 		rng := rand.New(rand.NewSource(*seed))
 		hooks.BeforeReply = func(task mlsearch.Task, res mlsearch.Result) bool {

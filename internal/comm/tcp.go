@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TCP backend: rank 0 hosts a router; every other rank dials in and
@@ -63,6 +65,32 @@ type RouterConfig struct {
 	// OnJoin/OnLeave, when non-nil, are invoked in-process as anonymous
 	// workers come and go (the master's join barrier uses OnJoin).
 	OnJoin, OnLeave func(rank int)
+	// Obs, when non-nil, receives router traffic metrics (frame and byte
+	// counts by direction, connects, disconnects). Nil costs one nil
+	// check per frame.
+	Obs *obs.Registry
+}
+
+// routerMetrics are the router's traffic counters; every handle is
+// nil-safe, so an unobserved router records nothing.
+type routerMetrics struct {
+	bytesIn, bytesOut *obs.Counter
+	msgsIn, msgsOut   *obs.Counter
+	connects          *obs.Counter
+	disconnects       *obs.Counter
+}
+
+func newRouterMetrics(reg *obs.Registry) routerMetrics {
+	bytes := reg.CounterVec("fdml_net_bytes_total", "Router frame bytes, by direction.", "dir")
+	msgs := reg.CounterVec("fdml_net_messages_total", "Router frames, by direction.", "dir")
+	return routerMetrics{
+		bytesIn:     bytes.With("in"),
+		bytesOut:    bytes.With("out"),
+		msgsIn:      msgs.With("in"),
+		msgsOut:     msgs.With("out"),
+		connects:    reg.Counter("fdml_net_connects_total", "Connections registered by the router."),
+		disconnects: reg.Counter("fdml_net_disconnects_total", "Connections the router lost or dropped."),
+	}
 }
 
 type pendingNote struct {
@@ -91,6 +119,8 @@ type tcpRouter struct {
 
 	closed  bool
 	writeMu map[int]*sync.Mutex
+
+	met routerMetrics
 }
 
 // NewTCPRouter starts a static-membership rank-0 endpoint listening on
@@ -131,6 +161,7 @@ func newRouter(addr string, size int, cfg RouterConfig) (Communicator, error) {
 		conns:        map[int]net.Conn{},
 		nextRank:     cfg.FirstDynamic,
 		writeMu:      map[int]*sync.Mutex{},
+		met:          newRouterMetrics(cfg.Obs),
 	}
 	go r.acceptLoop()
 	return r, nil
@@ -256,6 +287,7 @@ func (r *tcpRouter) register(rank int, conn net.Conn) {
 	if r.writeMu[rank] == nil {
 		r.writeMu[rank] = &sync.Mutex{}
 	}
+	r.met.connects.Inc()
 }
 
 // writeLock returns the per-destination write mutex, creating it if
@@ -277,6 +309,7 @@ func (r *tcpRouter) drop(rank int, conn net.Conn) {
 	}
 	r.mu.Unlock()
 	conn.Close()
+	r.met.disconnects.Inc()
 }
 
 // notifyMember reports an anonymous worker's arrival or departure to the
@@ -326,11 +359,14 @@ func (r *tcpRouter) readLoop(rank int, conn net.Conn, dynamic bool) {
 			closed := r.closed
 			r.mu.Unlock()
 			conn.Close()
+			r.met.disconnects.Inc()
 			if dynamic && !closed {
 				r.notifyMember(rank, TagLeave)
 			}
 			return
 		}
+		r.met.msgsIn.Inc()
+		r.met.bytesIn.Add(float64(16 + len(payload)))
 		if from != rank {
 			continue // sender cannot spoof its rank
 		}
@@ -360,7 +396,10 @@ func (r *tcpRouter) forward(from, to int, tag int32, payload []byte) {
 	wmu.Unlock()
 	if err != nil {
 		conn.Close()
+		return
 	}
+	r.met.msgsOut.Inc()
+	r.met.bytesOut.Add(float64(16 + len(payload)))
 }
 
 func (r *tcpRouter) Rank() int { return 0 }

@@ -68,6 +68,9 @@ type Options struct {
 	// Progress receives a notification per adopted tree
 	// (jumble, event); the live tree viewer consumes it.
 	Progress func(int, mlsearch.ProgressEvent)
+	// Obs, when non-nil, attaches run observability (metrics, spans, the
+	// /status snapshot) to parallel runs.
+	Obs *mlsearch.RunObserver
 }
 
 func (o Options) withDefaults() Options {
@@ -196,6 +199,7 @@ func Infer(a *seq.Alignment, opt Options) (*Inference, error) {
 		MonitorOut:  opt.MonitorOut,
 		Jumbles:     opt.Jumbles,
 		Progress:    opt.Progress,
+		Obs:         opt.Obs,
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,11 @@
 package likelihood
 
-import "repro/internal/tree"
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/tree"
+)
 
 // CLV cache: memoized conditional likelihood vectors per directed edge.
 //
@@ -46,6 +51,55 @@ type EngineStats struct {
 	// Entries is the number of cache entries currently allocated
 	// (filled or not); a gauge, not a counter.
 	Entries int
+	// NewtonIters counts Newton-Raphson iterations across every branch
+	// length optimization (the per-phase work measure of the paper's §4
+	// breakdown that pure op counts miss).
+	NewtonIters uint64
+	// EvalTime is wall-clock time spent inside the engine's evaluation
+	// entry points (LogLikelihood, OptimizeBranches, insertion scoring).
+	// Stored at full time.Duration precision; the JSON form keeps the
+	// historical milliseconds field (fractional, so nothing is lost).
+	EvalTime time.Duration
+}
+
+// engineStatsJSON is the wire/JSON shape of EngineStats. Elapsed time is
+// exported as fractional milliseconds ("eval_time_ms") for backward
+// compatibility with consumers of the old integer-ms convention, while
+// the in-memory representation is a full-precision time.Duration.
+type engineStatsJSON struct {
+	Hits        uint64  `json:"hits"`
+	Misses      uint64  `json:"misses"`
+	Recomputed  uint64  `json:"recomputed"`
+	Invalidated uint64  `json:"invalidated"`
+	Flushes     uint64  `json:"flushes"`
+	Entries     int     `json:"entries"`
+	NewtonIters uint64  `json:"newton_iters"`
+	EvalTimeMs  float64 `json:"eval_time_ms"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s EngineStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(engineStatsJSON{
+		Hits: s.Hits, Misses: s.Misses, Recomputed: s.Recomputed,
+		Invalidated: s.Invalidated, Flushes: s.Flushes, Entries: s.Entries,
+		NewtonIters: s.NewtonIters,
+		EvalTimeMs:  float64(s.EvalTime) / float64(time.Millisecond),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *EngineStats) UnmarshalJSON(data []byte) error {
+	var j engineStatsJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*s = EngineStats{
+		Hits: j.Hits, Misses: j.Misses, Recomputed: j.Recomputed,
+		Invalidated: j.Invalidated, Flushes: j.Flushes, Entries: j.Entries,
+		NewtonIters: j.NewtonIters,
+		EvalTime:    time.Duration(j.EvalTimeMs * float64(time.Millisecond)),
+	}
+	return nil
 }
 
 // kidRef records one child combined into an entry: which node, the

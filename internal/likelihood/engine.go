@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/seq"
@@ -93,6 +94,26 @@ type Engine struct {
 	// measure consumed by the cluster simulator's cost model. Cache hits
 	// add nothing: only recomputed vectors count.
 	ops uint64
+
+	// evalDepth guards EvalTime accounting against nested public entry
+	// points (OptimizeBranches calls LogLikelihood per pass); only the
+	// outermost call contributes wall-clock time.
+	evalDepth int
+}
+
+// timeEval starts the stats clock for a public evaluation entry point and
+// returns the function that stops it. Nested entry points are free: two
+// time.Now calls per outermost invocation, nothing in the kernels.
+func (e *Engine) timeEval() func() {
+	e.evalDepth++
+	if e.evalDepth > 1 {
+		return func() { e.evalDepth-- }
+	}
+	start := time.Now()
+	return func() {
+		e.evalDepth--
+		e.stats.EvalTime += time.Since(start)
+	}
 }
 
 // New builds an engine for the given model and compressed patterns.
@@ -365,6 +386,7 @@ func (e *Engine) edgeLogLikelihood(aclv []float64, asc []int32, bclv []float64, 
 // covered by the data set. Evaluation is incremental: only conditional
 // likelihood vectors invalidated since the previous call are recomputed.
 func (e *Engine) LogLikelihood(t *tree.Tree) (float64, error) {
+	defer e.timeEval()()
 	if err := e.checkTree(t); err != nil {
 		return 0, err
 	}
@@ -384,6 +406,7 @@ func (e *Engine) LogLikelihood(t *tree.Tree) (float64, error) {
 // (weights not applied) in the original pattern order of Patterns(), used
 // by DNArates-style per-site estimation.
 func (e *Engine) SiteLogLikelihoods(t *tree.Tree) ([]float64, error) {
+	defer e.timeEval()()
 	if err := e.checkTree(t); err != nil {
 		return nil, err
 	}

@@ -66,6 +66,7 @@ func (e *Engine) NewInsertScorer(base *tree.Tree, taxon int) (*InsertScorer, err
 // the three junction branches for the given number of passes (minimum 1).
 // The base tree is not modified.
 func (s *InsertScorer) Score(ed tree.Edge, passes int) (InsertScore, error) {
+	defer s.e.timeEval()()
 	a, b := ed.A, ed.B
 	if a.NbrIndex(b) < 0 {
 		return InsertScore{}, fmt.Errorf("likelihood: insertion edge %d-%d does not exist", a.ID, b.ID)

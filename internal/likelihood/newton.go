@@ -61,6 +61,7 @@ func (o OptOptions) withDefaults() OptOptions {
 // log-likelihood. With Around/Centers set, only nearby branches are
 // optimized but the returned value is still the full-tree log-likelihood.
 func (e *Engine) OptimizeBranches(t *tree.Tree, opt OptOptions) (float64, error) {
+	defer e.timeEval()()
 	opt = opt.withDefaults()
 	if err := e.checkTree(t); err != nil {
 		return 0, err
@@ -188,6 +189,7 @@ func (e *Engine) newtonEdge(aclv []float64, asc []int32, bclv []float64, bsc []i
 	z := clampLen(z0)
 	bestZ, bestL := z, math.Inf(-1)
 	for iter := 0; iter < newtonMaxIter; iter++ {
+		e.stats.NewtonIters++
 		d1, d2, lnl := e.edgeDerivatives(aclv, asc, bclv, bsc, z)
 		if lnl > bestL {
 			bestL, bestZ = lnl, z
@@ -261,6 +263,7 @@ func (e *Engine) edgeDerivatives(aclv []float64, asc []int32, bclv []float64, bs
 // returns the resulting full-tree log-likelihood. Exposed for tests and
 // fine-grained use.
 func (e *Engine) OptimizeEdge(t *tree.Tree, ed tree.Edge) (float64, error) {
+	defer e.timeEval()()
 	if err := e.checkTree(t); err != nil {
 		return 0, err
 	}

@@ -3,11 +3,13 @@ package mlsearch
 import (
 	"bytes"
 	"net"
+	"os"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 	"repro/internal/seq"
 	"repro/internal/simulate"
 )
@@ -20,6 +22,7 @@ import (
 // final tree and log-likelihood must be bit-identical to the serial
 // answer — membership chaos is pure work distribution (paper §2.2).
 func TestTCPChaosSoak(t *testing.T) {
+	soakStart := time.Now()
 	ds, err := simulate.New(simulate.Options{Taxa: 9, Sites: 160, Seed: 41, MeanBranchLen: 0.12})
 	if err != nil {
 		t.Fatal(err)
@@ -171,6 +174,25 @@ func TestTCPChaosSoak(t *testing.T) {
 	dropMu.Unlock()
 	if nd == 0 {
 		t.Log("note: reply-drop injection never triggered (late joiner saw <4 tasks)")
+	}
+
+	// CI archives the soak as a BENCH_*.json artifact when asked.
+	if dir := os.Getenv("FDML_BENCH_DIR"); dir != "" {
+		path, err := obs.WriteBench(dir, obs.BenchReport{
+			Run:       "chaos_soak",
+			StartedAt: soakStart,
+			Totals: map[string]float64{
+				"tasks": float64(res.TotalTasks), "ops": float64(res.TotalOps),
+				"lnl":   res.LnL,
+				"joins": float64(mon.Joins), "leaves": float64(mon.Leaves),
+				"dropped_replies": float64(nd),
+			},
+			Details: map[string]any{"tasks_per_worker": mon.TasksPerWorker},
+		})
+		if err != nil {
+			t.Fatalf("bench report: %v", err)
+		}
+		t.Logf("wrote %s", path)
 	}
 }
 

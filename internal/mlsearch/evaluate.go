@@ -2,6 +2,7 @@ package mlsearch
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/likelihood"
 	"repro/internal/tree"
@@ -47,8 +48,11 @@ func NewEvaluator(eng *likelihood.Engine, taxa []string) *Evaluator {
 
 // Evaluate runs one task and returns the result. The Ops field reports
 // the work units consumed by exactly this evaluation; CacheHits and
-// CacheMisses report the CLV cache behaviour over the same span.
+// CacheMisses report the CLV cache behaviour over the same span; Eval
+// and NewtonIters time and count the work so the foreman can attribute
+// per-phase latency to the task's trace span.
 func (ev *Evaluator) Evaluate(t Task) (Result, error) {
+	start := time.Now()
 	opsBefore := ev.eng.Ops()
 	statsBefore := ev.eng.Snapshot()
 
@@ -77,6 +81,9 @@ func (ev *Evaluator) Evaluate(t Task) (Result, error) {
 		Ops:         ev.eng.Ops() - opsBefore,
 		CacheHits:   statsAfter.Hits - statsBefore.Hits,
 		CacheMisses: statsAfter.Misses - statsBefore.Misses,
+		NewtonIters: statsAfter.NewtonIters - statsBefore.NewtonIters,
+		Eval:        time.Since(start),
+		Trace:       t.Trace,
 	}, nil
 }
 

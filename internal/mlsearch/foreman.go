@@ -58,6 +58,10 @@ type ForemanOptions struct {
 	// DrainTimeout bounds how long shutdown waits for workers to
 	// acknowledge before closing anyway. Default 1s.
 	DrainTimeout time.Duration
+	// Obs, when non-nil, receives dispatch-loop instrumentation (metrics,
+	// typed events, trace spans, the /status snapshot). Nil costs one nil
+	// check per site.
+	Obs *RunObserver
 }
 
 func (o ForemanOptions) withDefaults() ForemanOptions {
@@ -95,6 +99,10 @@ type foreman struct {
 	byID    map[uint64]Task
 	results map[uint64]Result
 	round   uint64
+	// enq tracks when each task entered the work queue, for the queue-wait
+	// phase of its trace span. Only maintained when an observer is
+	// attached.
+	enq map[uint64]time.Time
 }
 
 type dispatchRecord struct {
@@ -201,7 +209,16 @@ func (f *foreman) runRound(batch roundBatch) (roundReply, error) {
 	for _, t := range batch.Tasks {
 		f.byID[t.ID] = t
 	}
+	if f.opt.Obs != nil {
+		f.enq = make(map[uint64]time.Time, len(batch.Tasks))
+		now := time.Now()
+		for _, t := range batch.Tasks {
+			f.enq[t.ID] = now
+		}
+	}
 	f.event(monRoundStart, 0, batch.Round, fmt.Sprintf("tasks=%d", len(batch.Tasks)))
+	f.opt.Obs.RoundStart(batch.Round, len(batch.Tasks))
+	f.depths()
 
 	for len(f.results) < len(f.byID) {
 		f.assign()
@@ -263,7 +280,13 @@ func (f *foreman) runRound(batch roundBatch) (roundReply, error) {
 		stripped[i] = r
 	}
 	f.event(monRoundDone, 0, batch.Round, fmt.Sprintf("best=%.4f", best.LnL))
+	f.opt.Obs.RoundDone(batch.Round, len(f.members), best.LnL)
 	return roundReply{Round: batch.Round, Best: best, Stats: stripped}, nil
+}
+
+// depths reports the scheduler's queue sizes to the observer.
+func (f *foreman) depths() {
+	f.opt.Obs.Depths(len(f.queue), len(f.busy), len(f.ready))
 }
 
 // evalInline evaluates the next queued task in the foreman itself — the
@@ -282,6 +305,8 @@ func (f *foreman) evalInline() error {
 	res.Worker = InlineWorker
 	f.results[t.ID] = res
 	f.event(monInline, int(InlineWorker), t.Round, fmt.Sprintf("task=%d lnl=%.4f", t.ID, res.LnL))
+	f.opt.Obs.Inline(t.Round, t.ID, res.LnL)
+	f.depths()
 	return nil
 }
 
@@ -291,6 +316,8 @@ func (f *foreman) handleJoin(w int) {
 	f.members[w] = true
 	f.pushReady(w)
 	f.event(monWorkerJoined, w, f.round, "")
+	f.opt.Obs.Joined(w)
+	f.depths()
 }
 
 // handleLeave removes a departed worker permanently. Its in-flight task
@@ -314,6 +341,8 @@ func (f *foreman) handleLeave(w int) {
 		}
 	}
 	f.event(monWorkerLeft, w, f.round, info)
+	f.opt.Obs.Left(w)
+	f.depths()
 }
 
 // pushReady returns a worker to the ready queue, clearing its dead flag
@@ -353,11 +382,16 @@ func (f *foreman) assign() {
 			delete(f.members, w)
 			delete(f.dead, w)
 			f.event(monWorkerDead, w, t.Round, "send failed")
+			f.opt.Obs.TimedOut(w, t.Round, t.ID)
 			continue
 		}
 		f.busy[w] = rec
 		f.event(monDispatch, w, t.Round, fmt.Sprintf("task=%d", t.ID))
+		if f.opt.Obs != nil {
+			f.opt.Obs.Dispatched(w, t.Round, t.ID, now.Sub(f.enq[t.ID]))
+		}
 	}
+	f.depths()
 }
 
 // handleResult processes a worker's TagResult message.
@@ -374,20 +408,25 @@ func (f *foreman) handleResult(msg comm.Message) error {
 		// the delinquent worker, then that worker is added back into the
 		// list of workers available to analyze trees."
 		f.event(monWorkerRevived, w, res.Round, "")
+		f.opt.Obs.Reinstated(w, res.Round)
 	}
 	// A reply proves liveness even if the transport never announced the
 	// sender (e.g. a membership race): make sure it is a member.
 	f.members[w] = true
+	var rtt time.Duration
 	if rec, ok := f.busy[w]; ok && rec.task.ID == res.TaskID {
 		delete(f.busy, w)
+		rtt = time.Since(rec.sent)
 	}
 	if _, known := f.byID[res.TaskID]; known {
 		if _, dup := f.results[res.TaskID]; !dup {
 			f.results[res.TaskID] = res
 			f.event(monResult, w, res.Round, fmt.Sprintf("task=%d lnl=%.4f", res.TaskID, res.LnL))
+			f.opt.Obs.Completed(w, res, rtt)
 		}
 	}
 	f.pushReady(w)
+	f.depths()
 	return nil
 }
 
@@ -408,6 +447,8 @@ func (f *foreman) expire() {
 				f.queue = append([]Task{rec.task}, f.queue...)
 			}
 			f.event(monWorkerDead, w, rec.task.Round, fmt.Sprintf("task=%d timed out", rec.task.ID))
+			f.opt.Obs.TimedOut(w, rec.task.Round, rec.task.ID)
+			f.depths()
 		}
 	}
 }

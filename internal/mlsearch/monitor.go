@@ -6,12 +6,17 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 )
 
 // The monitor (paper §2.2): "an optional process that provides
 // instrumentation for the program". It receives event records from the
-// foreman and aggregates dispatch counts, per-worker utilization, fault
-// tolerance activity, and round timings.
+// foreman over the wire, decodes them into the typed events of the obs
+// bus, and lets its two consumers — stats aggregation and line printing —
+// run as ordinary bus subscribers. Anything else (a test assertion, a
+// future remote exporter) can subscribe to the same bus without touching
+// the receive loop, and the in-process RunObserver publishes the
+// identical event types, so a consumer works against either source.
 
 // Monitor event kinds.
 const (
@@ -26,7 +31,7 @@ const (
 	monInline
 )
 
-// MonitorEvent is one instrumentation record.
+// MonitorEvent is one instrumentation record as it travels on the wire.
 type MonitorEvent struct {
 	// Kind is one of the mon* constants.
 	Kind byte
@@ -62,7 +67,50 @@ func unmarshalMonitorEvent(b []byte) (MonitorEvent, error) {
 		Info:   r.str("event info"),
 	}
 	e.At = int64(r.u64("event time"))
-	return e, r.done("monitor event")
+	// Tolerate extension fields a newer foreman may append (rolling
+	// upgrades); this monitor has no tags of its own yet.
+	err := r.extFields("monitor event extension", func(byte, []byte) {})
+	return e, err
+}
+
+// typed converts a wire event into its bus event, recovering the
+// structured values the foreman folded into the Info string. Unknown
+// kinds return nil.
+func (e MonitorEvent) typed() any {
+	at := time.Unix(0, e.At)
+	switch e.Kind {
+	case monRoundStart:
+		ev := RoundStarted{Round: e.Round, At: at}
+		fmt.Sscanf(e.Info, "tasks=%d", &ev.Tasks)
+		return ev
+	case monDispatch:
+		ev := TaskDispatched{Worker: int(e.Worker), Round: e.Round}
+		fmt.Sscanf(e.Info, "task=%d", &ev.TaskID)
+		return ev
+	case monResult:
+		ev := TaskCompleted{Worker: int(e.Worker), Round: e.Round}
+		fmt.Sscanf(e.Info, "task=%d lnl=%f", &ev.TaskID, &ev.LnL)
+		return ev
+	case monWorkerDead:
+		ev := WorkerTimedOut{Worker: int(e.Worker), Round: e.Round}
+		fmt.Sscanf(e.Info, "task=%d", &ev.TaskID)
+		return ev
+	case monWorkerRevived:
+		return WorkerReinstated{Worker: int(e.Worker), Round: e.Round}
+	case monWorkerJoined:
+		return WorkerJoined{Worker: int(e.Worker)}
+	case monWorkerLeft:
+		return WorkerLeft{Worker: int(e.Worker)}
+	case monInline:
+		ev := InlineEvaluated{Round: e.Round}
+		fmt.Sscanf(e.Info, "task=%d lnl=%f", &ev.TaskID, &ev.LnL)
+		return ev
+	case monRoundDone:
+		ev := RoundCompleted{Round: e.Round, At: at}
+		fmt.Sscanf(e.Info, "best=%f", &ev.BestLnL)
+		return ev
+	}
+	return nil
 }
 
 // MonitorStats aggregates a run's instrumentation.
@@ -90,28 +138,95 @@ type MonitorStats struct {
 	Events []MonitorEvent
 }
 
-// RunMonitor executes the monitor role until shutdown, writing a line per
-// round to w (nil discards output) and returning the aggregate
-// statistics.
-func RunMonitor(c comm.Communicator, w io.Writer, verbose bool) (*MonitorStats, error) {
-	stats := &MonitorStats{
+func newMonitorStats() *MonitorStats {
+	return &MonitorStats{
 		TasksPerWorker: map[int]int{},
 		Deaths:         map[int]int{},
 		Revivals:       map[int]int{},
 	}
-	logf := func(format string, args ...interface{}) {
-		if w != nil {
-			fmt.Fprintf(w, format, args...)
+}
+
+// AttachMonitorStats subscribes stats aggregation to a bus and returns
+// the unsubscribe function. It works against either event source: the
+// monitor rank's decoded wire events or an in-process RunObserver bus.
+func AttachMonitorStats(bus *obs.Bus, stats *MonitorStats) func() {
+	return bus.Subscribe(func(e any) {
+		switch ev := e.(type) {
+		case TaskDispatched:
+			stats.Dispatches++
+		case TaskCompleted:
+			stats.Results++
+			stats.TasksPerWorker[ev.Worker]++
+		case WorkerTimedOut:
+			stats.Deaths[ev.Worker]++
+		case WorkerReinstated:
+			stats.Revivals[ev.Worker]++
+		case WorkerJoined:
+			stats.Joins++
+		case WorkerLeft:
+			stats.Leaves++
+		case InlineEvaluated:
+			stats.Inline++
+		case RoundCompleted:
+			stats.Rounds++
 		}
+	})
+}
+
+// attachMonitorLog subscribes the line printer. Lines go through a
+// LockedWriter as single Write calls, so concurrent writers sharing the
+// underlying stream (the master's progress output, another goroutine's
+// log) cannot interleave within a line.
+func attachMonitorLog(bus *obs.Bus, w io.Writer, verbose bool) func() {
+	if w == nil {
+		return func() {}
 	}
+	out := obs.NewLockedWriter(w)
 	var roundStart time.Time
+	return bus.Subscribe(func(e any) {
+		switch ev := e.(type) {
+		case RoundStarted:
+			roundStart = ev.At
+			if verbose {
+				fmt.Fprintf(out, "monitor: round %d start (tasks=%d)\n", ev.Round, ev.Tasks)
+			}
+		case WorkerTimedOut:
+			fmt.Fprintf(out, "monitor: worker %d removed (task %d requeued)\n", ev.Worker, ev.TaskID)
+		case WorkerReinstated:
+			fmt.Fprintf(out, "monitor: worker %d reinstated\n", ev.Worker)
+		case WorkerJoined:
+			fmt.Fprintf(out, "monitor: worker %d joined\n", ev.Worker)
+		case WorkerLeft:
+			fmt.Fprintf(out, "monitor: worker %d left\n", ev.Worker)
+		case InlineEvaluated:
+			fmt.Fprintf(out, "monitor: foreman evaluated inline (task %d lnl=%.4f)\n", ev.TaskID, ev.LnL)
+		case RoundCompleted:
+			if verbose {
+				fmt.Fprintf(out, "monitor: round %d done in %v (best=%.4f)\n", ev.Round, ev.At.Sub(roundStart), ev.BestLnL)
+			}
+		}
+	})
+}
+
+// RunMonitor executes the monitor role until shutdown, writing a line per
+// event to w (nil discards output) and returning the aggregate
+// statistics. The receive loop only decodes and publishes; aggregation
+// and printing are bus subscribers.
+func RunMonitor(c comm.Communicator, w io.Writer, verbose bool) (*MonitorStats, error) {
+	bus := obs.NewBus()
+	stats := newMonitorStats()
+	AttachMonitorStats(bus, stats)
+	attachMonitorLog(bus, w, verbose)
+	out := obs.NewLockedWriter(w)
 	for {
 		msg, err := c.Recv(comm.AnySource, comm.AnyTag)
 		if err != nil {
 			return stats, fmt.Errorf("mlsearch: monitor receive: %w", err)
 		}
 		if msg.Tag == comm.TagShutdown {
-			logf("monitor: shutdown after %d rounds, %d results\n", stats.Rounds, stats.Results)
+			if w != nil {
+				fmt.Fprintf(out, "monitor: shutdown after %d rounds, %d results\n", stats.Rounds, stats.Results)
+			}
 			return stats, nil
 		}
 		if msg.Tag != comm.TagEvent {
@@ -122,38 +237,8 @@ func RunMonitor(c comm.Communicator, w io.Writer, verbose bool) (*MonitorStats, 
 			return stats, err
 		}
 		stats.Events = append(stats.Events, e)
-		switch e.Kind {
-		case monRoundStart:
-			roundStart = time.Unix(0, e.At)
-			if verbose {
-				logf("monitor: round %d start (%s)\n", e.Round, e.Info)
-			}
-		case monDispatch:
-			stats.Dispatches++
-		case monResult:
-			stats.Results++
-			stats.TasksPerWorker[int(e.Worker)]++
-		case monWorkerDead:
-			stats.Deaths[int(e.Worker)]++
-			logf("monitor: worker %d removed (%s)\n", e.Worker, e.Info)
-		case monWorkerRevived:
-			stats.Revivals[int(e.Worker)]++
-			logf("monitor: worker %d reinstated\n", e.Worker)
-		case monWorkerJoined:
-			stats.Joins++
-			logf("monitor: worker %d joined\n", e.Worker)
-		case monWorkerLeft:
-			stats.Leaves++
-			logf("monitor: worker %d left (%s)\n", e.Worker, e.Info)
-		case monInline:
-			stats.Inline++
-			logf("monitor: foreman evaluated inline (%s)\n", e.Info)
-		case monRoundDone:
-			stats.Rounds++
-			if verbose {
-				elapsed := time.Unix(0, e.At).Sub(roundStart)
-				logf("monitor: round %d done in %v (%s)\n", e.Round, elapsed, e.Info)
-			}
+		if ev := e.typed(); ev != nil {
+			bus.Publish(ev)
 		}
 	}
 }

@@ -66,6 +66,10 @@ type RunOptions struct {
 	Foreman ForemanOptions
 	// MonitorOut receives monitor output lines (nil discards).
 	MonitorOut io.Writer
+	// Obs, when non-nil, attaches run observability to the hosting
+	// process: the foreman updates its metrics, bus, spans, and /status
+	// snapshot (shorthand for setting Foreman.Obs).
+	Obs *RunObserver
 	// WorkerHooks, keyed by rank, perturb Local workers for fault
 	// injection tests.
 	WorkerHooks map[int]WorkerHooks
@@ -197,10 +201,14 @@ func runLocalTransport(cfg Config, opt RunOptions) (*RunOutcome, error) {
 	errs := make(chan error, size)
 
 	// Foreman.
+	foremanOpt := opt.Foreman
+	if foremanOpt.Obs == nil {
+		foremanOpt.Obs = opt.Obs
+	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if err := RunForeman(world[lay.Foreman], lay, opt.Foreman); err != nil {
+		if err := RunForeman(world[lay.Foreman], lay, foremanOpt); err != nil {
 			errs <- fmt.Errorf("foreman: %w", err)
 		}
 	}()

@@ -1,9 +1,12 @@
 package mlsearch
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tree"
 )
 
@@ -64,6 +67,44 @@ type TaskStat struct {
 	// CacheHits and CacheMisses count the worker engine's CLV cache
 	// lookups during the task.
 	CacheHits, CacheMisses uint64
+	// Elapsed is the worker-side evaluation time, kept at full
+	// time.Duration precision in memory; the JSON form stays on the
+	// millisecond convention (elapsed_ms) for existing consumers.
+	Elapsed time.Duration
+}
+
+// taskStatJSON is the serialized form of TaskStat: elapsed time travels
+// as fractional milliseconds so files written before the Duration change
+// (and external tooling on the ms convention) keep working.
+type taskStatJSON struct {
+	Ops         uint64  `json:"ops"`
+	LnL         float64 `json:"lnl"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+}
+
+// MarshalJSON renders Elapsed as fractional milliseconds.
+func (s TaskStat) MarshalJSON() ([]byte, error) {
+	return json.Marshal(taskStatJSON{
+		Ops: s.Ops, LnL: s.LnL,
+		CacheHits: s.CacheHits, CacheMisses: s.CacheMisses,
+		ElapsedMs: obs.PhaseMs(s.Elapsed),
+	})
+}
+
+// UnmarshalJSON accepts the milliseconds form, restoring full precision.
+func (s *TaskStat) UnmarshalJSON(b []byte) error {
+	var j taskStatJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*s = TaskStat{
+		Ops: j.Ops, LnL: j.LnL,
+		CacheHits: j.CacheHits, CacheMisses: j.CacheMisses,
+		Elapsed: time.Duration(j.ElapsedMs * float64(time.Millisecond)),
+	}
+	return nil
 }
 
 // RoundStats records one dispatch round.
@@ -125,6 +166,9 @@ type Search struct {
 	rounds    []RoundStats
 	total     int
 	totalOps  uint64
+	// trace groups every task span of this search; tasks are its
+	// children.
+	trace obs.SpanContext
 }
 
 // NewSearch builds a search over a normalized configuration.
@@ -136,7 +180,7 @@ func NewSearch(cfg Config, disp Dispatcher) (*Search, error) {
 	if disp == nil {
 		return nil, fmt.Errorf("mlsearch: nil dispatcher")
 	}
-	return &Search{cfg: norm, disp: disp}, nil
+	return &Search{cfg: norm, disp: disp, trace: obs.NewTrace()}, nil
 }
 
 // Config returns the normalized configuration.
@@ -255,7 +299,7 @@ func (s *Search) dispatchRound(kind RoundKind, taxaInTree int, tasks []Task, gen
 	stats := RoundStats{Kind: kind, TaxaInTree: taxaInTree, GenBytes: genBytes}
 	best := results[0]
 	for _, r := range results {
-		stats.Tasks = append(stats.Tasks, TaskStat{Ops: r.Ops, LnL: r.LnL, CacheHits: r.CacheHits, CacheMisses: r.CacheMisses})
+		stats.Tasks = append(stats.Tasks, TaskStat{Ops: r.Ops, LnL: r.LnL, CacheHits: r.CacheHits, CacheMisses: r.CacheMisses, Elapsed: r.Eval})
 		s.totalOps += r.Ops
 		if r.LnL > best.LnL {
 			best = r
@@ -269,12 +313,14 @@ func (s *Search) dispatchRound(kind RoundKind, taxaInTree int, tasks []Task, gen
 	return results, nil
 }
 
-// newTask allocates task identity.
+// newTask allocates task identity, minting a child span of the search's
+// trace so the task can be followed across process boundaries.
 func (s *Search) newTask(newick string, localTaxon int, passes int) Task {
 	s.nextTask++
 	return Task{
 		ID:         s.nextTask,
 		Round:      s.nextRound,
+		Trace:      s.trace.Child(),
 		Newick:     newick,
 		LocalTaxon: int32(localTaxon),
 		Passes:     int32(passes),

@@ -11,6 +11,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Task is one unit of worker work: a candidate tree topology whose branch
@@ -53,6 +56,12 @@ type Task struct {
 	// (MoveTA, MoveTB). The worker applies the move, optimizes locally,
 	// and undoes it, keeping its cached base tree warm.
 	MoveP, MoveS, MoveTA, MoveTB int32
+
+	// Trace is the task's span context, minted by the master so one task
+	// can be followed master → foreman → worker → kernel. The zero value
+	// means untraced; it travels as an extension field, so pre-trace
+	// peers interoperate.
+	Trace obs.SpanContext
 }
 
 // Result is a worker's answer to one Task.
@@ -74,6 +83,15 @@ type Result struct {
 	CacheHits, CacheMisses uint64
 	// Worker is the responding worker's rank (filled by the foreman).
 	Worker int32
+	// Eval is the worker-side evaluation time for the task (parse +
+	// CLV compute + Newton iterations), at full time.Duration precision.
+	// The foreman subtracts it from the observed round trip to attribute
+	// the network share of a task's latency.
+	Eval time.Duration
+	// NewtonIters counts Newton-Raphson iterations the task consumed.
+	NewtonIters uint64
+	// Trace echoes Task.Trace so the reply closes the dispatched span.
+	Trace obs.SpanContext
 }
 
 // --- binary wire codec -------------------------------------------------
@@ -162,6 +180,75 @@ func (r *wireReader) done(what string) error {
 	return nil
 }
 
+// --- extension fields --------------------------------------------------
+//
+// Envelope types grow by appending extension fields after the fixed v1
+// layout: each is tag(u8) length(u32) payload. Readers skip tags they do
+// not know, so mixed-version worlds interoperate during rolling upgrades
+// (an old master with new workers, or the reverse); writers omit
+// zero-valued fields, so untraced runs pay zero wire bytes. Truncated
+// extensions are still hard errors — tolerance is for unknown fields,
+// not corrupt frames.
+
+// ext appends one tagged extension field.
+func (w *wireWriter) ext(tag byte, payload []byte) {
+	w.buf = append(w.buf, tag)
+	w.i32(int32(len(payload)))
+	w.buf = append(w.buf, payload...)
+}
+
+// extU64 appends a u64 extension field, omitting zero values.
+func (w *wireWriter) extU64(tag byte, v uint64) {
+	if v == 0 {
+		return
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	w.ext(tag, b[:])
+}
+
+// extFields consumes the remainder of the buffer as extension fields,
+// invoking fn for each; unknown tags are fn's to ignore.
+func (r *wireReader) extFields(what string, fn func(tag byte, payload []byte)) error {
+	for r.err == nil && r.off < len(r.buf) {
+		tag := r.buf[r.off]
+		r.off++
+		n := r.i32(what)
+		if r.err != nil {
+			break
+		}
+		if n < 0 || r.off+int(n) > len(r.buf) {
+			r.fail(what)
+			break
+		}
+		fn(tag, r.buf[r.off:r.off+int(n)])
+		r.off += int(n)
+	}
+	return r.err
+}
+
+// extU64Val decodes a u64 extension payload (shorter payloads read 0).
+func extU64Val(payload []byte) uint64 {
+	if len(payload) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(payload)
+}
+
+// Extension tags of the Task envelope.
+const (
+	extTaskTraceID byte = 1 + iota
+	extTaskSpanID
+)
+
+// Extension tags of the Result envelope.
+const (
+	extResultTraceID byte = 1 + iota
+	extResultSpanID
+	extResultEvalNs
+	extResultNewtonIters
+)
+
 // MarshalTask encodes a Task for the wire.
 func MarshalTask(t Task) []byte {
 	var w wireWriter
@@ -181,6 +268,8 @@ func MarshalTask(t Task) []byte {
 	w.i32(t.MoveS)
 	w.i32(t.MoveTA)
 	w.i32(t.MoveTB)
+	w.extU64(extTaskTraceID, t.Trace.TraceID)
+	w.extU64(extTaskSpanID, t.Trace.SpanID)
 	return w.buf
 }
 
@@ -201,7 +290,15 @@ func UnmarshalTask(b []byte) (Task, error) {
 	t.MoveS = r.i32("task move s")
 	t.MoveTA = r.i32("task move ta")
 	t.MoveTB = r.i32("task move tb")
-	return t, r.done("task")
+	err := r.extFields("task extension", func(tag byte, payload []byte) {
+		switch tag {
+		case extTaskTraceID:
+			t.Trace.TraceID = extU64Val(payload)
+		case extTaskSpanID:
+			t.Trace.SpanID = extU64Val(payload)
+		}
+	})
+	return t, err
 }
 
 // MarshalResult encodes a Result for the wire.
@@ -215,6 +312,10 @@ func MarshalResult(res Result) []byte {
 	w.u64(res.CacheHits)
 	w.u64(res.CacheMisses)
 	w.i32(res.Worker)
+	w.extU64(extResultTraceID, res.Trace.TraceID)
+	w.extU64(extResultSpanID, res.Trace.SpanID)
+	w.extU64(extResultEvalNs, uint64(res.Eval))
+	w.extU64(extResultNewtonIters, res.NewtonIters)
 	return w.buf
 }
 
@@ -231,5 +332,17 @@ func UnmarshalResult(b []byte) (Result, error) {
 		CacheMisses: r.u64("result cache misses"),
 		Worker:      r.i32("result worker"),
 	}
-	return res, r.done("result")
+	err := r.extFields("result extension", func(tag byte, payload []byte) {
+		switch tag {
+		case extResultTraceID:
+			res.Trace.TraceID = extU64Val(payload)
+		case extResultSpanID:
+			res.Trace.SpanID = extU64Val(payload)
+		case extResultEvalNs:
+			res.Eval = time.Duration(extU64Val(payload))
+		case extResultNewtonIters:
+			res.NewtonIters = extU64Val(payload)
+		}
+	})
+	return res, err
 }

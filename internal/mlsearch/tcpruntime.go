@@ -46,6 +46,9 @@ func runTCPTransport(cfg Config, opt RunOptions) (*RunOutcome, error) {
 		}
 		foremanOpt.Inline = inline
 	}
+	if foremanOpt.Obs == nil {
+		foremanOpt.Obs = opt.Obs
+	}
 
 	// Join barrier: the master waits for opt.Workers joins before
 	// starting the search (0 = start immediately).
@@ -80,6 +83,7 @@ func runTCPTransport(cfg Config, opt RunOptions) (*RunOutcome, error) {
 		NotifyRank:   lay.Foreman,
 		OnJoin:       onJoin,
 		OnLeave:      onLeave,
+		Obs:          foremanOpt.Obs.Registry(),
 	})
 	if err != nil {
 		return nil, err

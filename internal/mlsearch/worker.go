@@ -26,6 +26,10 @@ type WorkerHooks struct {
 	// after it connects and learns its rank. The chaos tests use it to
 	// sever a live connection from outside (simulating a SIGKILL).
 	OnAttach func(c comm.Communicator)
+	// Obs, when non-nil, receives the worker's serve-loop
+	// instrumentation: tasks served, evaluation latency, engine cache and
+	// kernel counters, reconnects.
+	Obs *WorkerObserver
 }
 
 // RunWorker executes the worker loop: receive a task from the foreman,
@@ -36,6 +40,7 @@ func RunWorker(c comm.Communicator, lay Layout, m model.Model, pat *seq.Patterns
 		return err
 	}
 	ev := NewEvaluator(eng, taxa)
+	hooks.Obs.Attached(c.Rank())
 	for {
 		msg, err := c.Recv(comm.AnySource, comm.AnyTag)
 		if err != nil {
@@ -58,6 +63,7 @@ func RunWorker(c comm.Communicator, lay Layout, m model.Model, pat *seq.Patterns
 				return fmt.Errorf("mlsearch: worker %d: %w", c.Rank(), err)
 			}
 			res.Worker = int32(c.Rank())
+			hooks.Obs.Served(res)
 			if hooks.BeforeReply != nil && !hooks.BeforeReply(task, res) {
 				continue
 			}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"io"
+	"sync"
+)
+
+// LockedWriter serializes writes to a shared io.Writer so concurrent
+// producers (the monitor role and the master sharing stderr, workers
+// logging from several goroutines) cannot interleave within one line.
+// Each Write call is delivered as a single locked write to the
+// underlying writer.
+type LockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLockedWriter wraps w; passing an existing *LockedWriter returns it
+// unchanged (locking is idempotent), and a nil w yields a writer that
+// discards everything.
+func NewLockedWriter(w io.Writer) *LockedWriter {
+	if lw, ok := w.(*LockedWriter); ok {
+		return lw
+	}
+	return &LockedWriter{w: w}
+}
+
+// Write implements io.Writer atomically with respect to other writers
+// through this LockedWriter.
+func (l *LockedWriter) Write(p []byte) (int, error) {
+	if l == nil || l.w == nil {
+		return len(p), nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

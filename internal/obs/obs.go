@@ -1,0 +1,50 @@
+// Package obs is the observability substrate of the parallel runtime: a
+// dependency-free metrics registry (counters, gauges, fixed-bucket
+// histograms with labeled families) rendered in Prometheus text format, a
+// typed in-process event bus, lightweight trace-span identifiers that
+// travel inside task and reply envelopes, an optional HTTP status server
+// (/metrics, /status, /debug/pprof), and a machine-readable end-of-run
+// benchmark writer (BENCH_<run>.json).
+//
+// The paper's monitor process exists so an operator can watch "the
+// progress of the computation" (§2.2), and its scaling study (§4) rests
+// on per-phase timing of dispatch, evaluation, and communication. This
+// package supplies that substrate for every process of the runtime:
+// the master/foreman host, the monitor role, and remote workers. It
+// deliberately depends on nothing outside the standard library, and
+// every entry point is nil-receiver safe so instrumented code paths cost
+// nothing when no sink is attached.
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// idCounter disambiguates IDs minted in the same process; idBase makes
+// IDs from different processes (master vs. workers) unlikely to collide.
+var (
+	idCounter atomic.Uint64
+	idBaseMu  sync.Mutex
+	idBase    uint64
+)
+
+func processBase() uint64 {
+	idBaseMu.Lock()
+	defer idBaseMu.Unlock()
+	for idBase == 0 {
+		idBase = rand.Uint64() &^ 0xFFFF // low bits left for the counter
+	}
+	return idBase
+}
+
+// NewID mints a non-zero 64-bit identifier for traces and spans. IDs are
+// unique within a process and randomized across processes.
+func NewID() uint64 {
+	id := processBase() ^ idCounter.Add(1)
+	if id == 0 {
+		id = processBase() ^ idCounter.Add(1)
+	}
+	return id
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StatusServer exposes a process's observability over HTTP:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/status       live JSON snapshot from the configured provider
+//	/debug/pprof  the standard Go profiler endpoints
+//
+// It binds its own mux (never the default one) so embedding processes
+// keep their HTTP namespace clean, and listening on ":0" is supported
+// for tests — Addr reports the bound address.
+
+// StatusOptions configure NewStatusServer.
+type StatusOptions struct {
+	// Addr is the listen address, e.g. "127.0.0.1:9090" or ":0".
+	Addr string
+	// Registry backs /metrics (nil serves an empty exposition).
+	Registry *Registry
+	// Snapshot backs /status: it is invoked per request and its result
+	// JSON-encoded. Nil serves {}.
+	Snapshot func() any
+}
+
+// StatusServer is a live HTTP observability endpoint.
+type StatusServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewStatusServer binds addr and starts serving. Close releases it.
+func NewStatusServer(opt StatusOptions) (*StatusServer, error) {
+	ln, err := net.Listen("tcp", opt.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: status listen %s: %w", opt.Addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = opt.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var v any = struct{}{}
+		if opt.Snapshot != nil {
+			v = opt.Snapshot()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &StatusServer{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *StatusServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server. Nil-safe.
+func (s *StatusServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
