@@ -28,8 +28,15 @@ test:
 race:
 	$(GO) test -race ./internal/comm/... ./internal/mlsearch/...
 
+# Kernel scaling benchmarks: the sharded pruning and Newton kernels at
+# 1/2/4 engine threads under GOMAXPROCS 1/2/4, with -benchmem asserting
+# the zero-alloc steady state, plus the pooled wire-codec round trips.
+# The final step re-measures the kernels and archives the numbers as
+# bench/BENCH_kernels.json (CI uploads it as an artifact).
 bench:
-	$(GO) test -run XXX -bench . -benchmem .
+	$(GO) test -run XXX -bench 'DownPartial|NewtonEdge|FullSmooth' -cpu 1,2,4 -benchmem ./internal/likelihood/
+	$(GO) test -run XXX -bench Codec -benchmem ./internal/mlsearch/
+	FDML_BENCH_DIR=bench $(GO) test -count=1 -run TestKernelBenchJSON -v ./internal/likelihood/
 
 # The elastic-membership chaos soak under the race detector, archiving
 # its BENCH_*.json report into bench/ (CI uploads it as an artifact).

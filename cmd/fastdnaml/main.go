@@ -35,6 +35,8 @@ func main() {
 		finalExtent = flag.Int("final-extent", 0, "vertices crossed in the final pass (0 = same as -extent)")
 		ttratio     = flag.Float64("ttratio", 2.0, "F84 transition/transversion ratio")
 		workers     = flag.Int("workers", 0, "parallel worker processes on this machine (0 = serial)")
+		threads     = flag.Int("threads", 1, "likelihood kernel threads per evaluator (results are bit-identical at any count)")
+		pipeline    = flag.Int("pipeline", 2, "tasks kept in flight per worker in parallel runs (1 = paper's one-task dispatch)")
 		monitor     = flag.Bool("monitor", false, "attach the monitor process (parallel runs)")
 		ratesPath   = flag.String("rates", "", "per-site rate file (dnarates output)")
 		weightsPath = flag.String("weights", "", "per-site weight file")
@@ -63,7 +65,7 @@ func main() {
 	}
 	if err := run(*inPath, options{
 		jumbles: *jumbles, seed: *seed, extent: *extent, finalExtent: *finalExtent,
-		ttratio: *ttratio, workers: *workers, monitor: *monitor,
+		ttratio: *ttratio, workers: *workers, threads: *threads, pipeline: *pipeline, monitor: *monitor,
 		ratesPath: *ratesPath, weightsPath: *weightsPath,
 		outPrefix: *outPrefix, progressOut: *progressOut,
 		listen: *listen, netWorkers: *netWorkers, taskTimeout: *taskTimeout, quiet: *quiet,
@@ -79,6 +81,7 @@ func main() {
 
 type options struct {
 	jumbles, extent, finalExtent, workers, netWorkers int
+	threads, pipeline                                 int
 	seed                                              int64
 	taskTimeout                                       time.Duration
 	ttratio, kappa                                    float64
@@ -153,6 +156,8 @@ func run(inPath string, o options) error {
 		FinalExtent:     o.finalExtent,
 		AdaptiveExtent:  o.adaptive,
 		Workers:         o.workers,
+		Threads:         o.threads,
+		Pipeline:        o.pipeline,
 		WithMonitor:     o.monitor,
 		MonitorOut:      obs.NewLockedWriter(os.Stderr),
 		SiteRates:       rates,
@@ -352,7 +357,7 @@ func runDistributed(a *seq.Alignment, opt core.Options, o options) error {
 		WithMonitor: o.monitor,
 		Jumbles:     o.jumbles,
 		MonitorOut:  obs.NewLockedWriter(os.Stderr),
-		Foreman:     mlsearch.ForemanOptions{TaskTimeout: o.taskTimeout},
+		Foreman:     mlsearch.ForemanOptions{TaskTimeout: o.taskTimeout, Pipeline: o.pipeline},
 		Obs:         opt.Obs,
 		Bundle: mlsearch.DataBundle{
 			PhylipText: []byte(phylip.String()),
@@ -496,6 +501,8 @@ func writeBenchReport(inf *core.Inference, o options) error {
 	totals := map[string]float64{
 		"jumbles":  float64(len(inf.Jumbles)),
 		"best_lnl": inf.Best.LnL,
+		"threads":  float64(o.threads),
+		"pipeline": float64(o.pipeline),
 	}
 	type jumbleBench struct {
 		Seed  int64   `json:"seed"`

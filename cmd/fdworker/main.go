@@ -27,6 +27,7 @@ func main() {
 		flaky      = flag.Float64("flaky", 0, "drop this fraction of replies (fault tolerance demos)")
 		seed       = flag.Int64("flaky-seed", 1, "seed for -flaky")
 		statusAddr = flag.String("status-addr", "", "serve /metrics, /status, and /debug/pprof on this address")
+		threads    = flag.Int("threads", 1, "likelihood kernel threads (results are bit-identical at any count)")
 	)
 	flag.Parse()
 	if *connect == "" {
@@ -39,7 +40,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fdworker:", err)
 		os.Exit(2)
 	}
-	hooks := mlsearch.WorkerHooks{}
+	hooks := mlsearch.WorkerHooks{Threads: *threads}
 	if *statusAddr != "" {
 		reg := obs.NewRegistry()
 		wobs := mlsearch.NewWorkerObserver(reg)

@@ -63,12 +63,18 @@ func (c *localComm) Send(to int, tag Tag, data []byte) error {
 	if to < 0 || to >= len(c.boxes) {
 		return fmt.Errorf("comm: send to rank %d of %d", to, len(c.boxes))
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
+	// Copy through the buffer pool: the receiver owns the copy and the
+	// hot paths (worker task/result loops) recycle it after decoding.
+	var cp []byte
+	if len(data) > 0 {
+		cp = GetBuf(len(data))
+		copy(cp, data)
+	}
 	mb := c.boxes[to]
 	mb.mu.Lock()
 	if mb.closed {
 		mb.mu.Unlock()
+		PutBuf(cp)
 		return ErrClosed
 	}
 	mb.queue = append(mb.queue, Message{From: c.rank, Tag: tag, Data: cp})

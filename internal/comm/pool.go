@@ -1,0 +1,63 @@
+package comm
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Byte-buffer pool for the message path: the TCP codec allocates one
+// buffer per received frame and the envelope codecs one per encode, which
+// at pipelined dispatch rates dominates the transport's garbage. Buffers
+// are pooled in power-of-two size classes; a small secondary pool recycles
+// the box structs holding the slice headers, so steady-state Get/Put pairs
+// allocate nothing.
+
+const (
+	// minBufBits..maxBufBits bound the pooled capacity classes (64 B to
+	// 1 MiB). Larger buffers (e.g. elastic-join welcome payloads carrying
+	// whole alignments) fall through to the garbage collector.
+	minBufBits = 6
+	maxBufBits = 20
+)
+
+type bufBox struct{ b []byte }
+
+var bufClasses [maxBufBits - minBufBits + 1]sync.Pool
+
+var boxPool = sync.Pool{New: func() any { return new(bufBox) }}
+
+// GetBuf returns a length-n byte slice, recycled when a pooled buffer of
+// sufficient capacity is available.
+func GetBuf(n int) []byte {
+	if n > 1<<maxBufBits {
+		return make([]byte, n)
+	}
+	c := 0
+	if n > 1<<minBufBits {
+		c = bits.Len(uint(n-1)) - minBufBits
+	}
+	if v := bufClasses[c].Get(); v != nil {
+		bx := v.(*bufBox)
+		b := bx.b[:n]
+		bx.b = nil
+		boxPool.Put(bx)
+		return b
+	}
+	return make([]byte, n, 1<<(minBufBits+c))
+}
+
+// PutBuf recycles a buffer previously obtained from GetBuf (or any other
+// buffer whose contents are dead). Buffers outside the pooled capacity
+// range are dropped; callers must not touch b afterwards.
+func PutBuf(b []byte) {
+	c := cap(b)
+	if c < 1<<minBufBits || c > 1<<maxBufBits {
+		return
+	}
+	// Floor class: every Get from class k needs at most 1<<(minBufBits+k)
+	// bytes, which cap(b) >= 1<<(minBufBits+cls) guarantees.
+	cls := bits.Len(uint(c)) - 1 - minBufBits
+	bx := boxPool.Get().(*bufBox)
+	bx.b = b[:0]
+	bufClasses[cls].Put(bx)
+}

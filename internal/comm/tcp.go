@@ -368,6 +368,7 @@ func (r *tcpRouter) readLoop(rank int, conn net.Conn, dynamic bool) {
 		r.met.msgsIn.Inc()
 		r.met.bytesIn.Add(float64(16 + len(payload)))
 		if from != rank {
+			PutBuf(payload)
 			continue // sender cannot spoof its rank
 		}
 		if to == 0 {
@@ -380,6 +381,9 @@ func (r *tcpRouter) readLoop(rank int, conn net.Conn, dynamic bool) {
 			continue
 		}
 		r.forward(from, to, tag, payload)
+		// The payload is dead once written to (or dropped for) the
+		// destination connection; recycle it.
+		PutBuf(payload)
 	}
 }
 
@@ -661,24 +665,33 @@ func writeFrame(w io.Writer, from, to int, tag int32, payload []byte) error {
 	return nil
 }
 
-// readFrame reads one framed message.
+// readFrame reads one framed message. The routing header is read into a
+// stack buffer separately from the payload, so the payload is a
+// standalone pooled buffer (GetBuf) that the consumer may recycle with
+// PutBuf once decoded.
 func readFrame(r io.Reader) (from, to int, tag int32, payload []byte, err error) {
-	var lenBuf [4]byte
-	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+	var hdr [16]byte
+	if _, err = io.ReadFull(r, hdr[:4]); err != nil {
 		return
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
+	n := binary.BigEndian.Uint32(hdr[:4])
 	if n < 12 || n > maxFrameSize {
 		err = fmt.Errorf("comm: bad frame length %d", n)
 		return
 	}
-	body := make([]byte, n)
-	if _, err = io.ReadFull(r, body); err != nil {
+	if _, err = io.ReadFull(r, hdr[4:16]); err != nil {
 		return
 	}
-	from = int(int32(binary.BigEndian.Uint32(body[0:4])))
-	to = int(int32(binary.BigEndian.Uint32(body[4:8])))
-	tag = int32(binary.BigEndian.Uint32(body[8:12]))
-	payload = body[12:]
+	from = int(int32(binary.BigEndian.Uint32(hdr[4:8])))
+	to = int(int32(binary.BigEndian.Uint32(hdr[8:12])))
+	tag = int32(binary.BigEndian.Uint32(hdr[12:16]))
+	if n > 12 {
+		payload = GetBuf(int(n - 12))
+		if _, err = io.ReadFull(r, payload); err != nil {
+			PutBuf(payload)
+			payload = nil
+			return
+		}
+	}
 	return
 }

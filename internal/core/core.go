@@ -53,6 +53,14 @@ type Options struct {
 	// Workers selects the runtime: 0 runs the serial program; >= 1 runs
 	// the parallel runtime with that many worker processes.
 	Workers int
+	// Threads is the likelihood engine's kernel thread count per
+	// evaluator (default 1). Any value yields bit-identical trees and
+	// likelihoods: the engine's sharding is deterministic.
+	Threads int
+	// Pipeline is the number of tasks the foreman keeps in flight per
+	// worker in parallel runs (default 2; 1 restores the paper's
+	// one-task-per-worker dispatch).
+	Pipeline int
 	// WithMonitor adds the instrumentation process to parallel runs.
 	WithMonitor bool
 	// MonitorOut receives monitor output (nil discards it).
@@ -149,6 +157,7 @@ func Prepare(a *seq.Alignment, opt Options) (mlsearch.Config, Options, error) {
 		RearrangeExtent: opt.RearrangeExtent,
 		FinalExtent:     opt.FinalExtent,
 		AdaptiveExtent:  opt.AdaptiveExtent,
+		Threads:         opt.Threads,
 	}
 	return cfg, opt, nil
 }
@@ -200,6 +209,7 @@ func Infer(a *seq.Alignment, opt Options) (*Inference, error) {
 		Jumbles:     opt.Jumbles,
 		Progress:    opt.Progress,
 		Obs:         opt.Obs,
+		Foreman:     mlsearch.ForemanOptions{Pipeline: opt.Pipeline},
 	})
 	if err != nil {
 		return nil, err

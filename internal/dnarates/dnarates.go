@@ -100,12 +100,14 @@ func Estimate(m model.Model, a *seq.Alignment, tr *tree.Tree, opt Options) (*Rat
 		if err != nil {
 			return nil, err
 		}
-		siteLnL[gi] = lls
+		// The engine owns the returned slice; copy to retain this row.
+		siteLnL[gi] = append([]float64(nil), lls...)
 	}
-	base, err := eng.SiteLogLikelihoods(tr)
+	baseRow, err := eng.SiteLogLikelihoods(tr)
 	if err != nil {
 		return nil, err
 	}
+	base := append([]float64(nil), baseRow...)
 	lnLBefore := 0.0
 	for p := 0; p < npat; p++ {
 		lnLBefore += pat.Weights[p] * base[p]

@@ -1,0 +1,77 @@
+package likelihood
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestKernelBenchJSON measures the kernel benchmarks at each thread
+// count with testing.Benchmark and archives the results as
+// BENCH_kernels.json via the obs bench writer, so CI accumulates
+// machine-readable scaling data points alongside the chaos-soak and run
+// reports. Gated on FDML_BENCH_DIR (make bench sets it); plain test
+// runs skip it.
+func TestKernelBenchJSON(t *testing.T) {
+	dir := os.Getenv("FDML_BENCH_DIR")
+	if dir == "" {
+		t.Skip("set FDML_BENCH_DIR to emit BENCH_kernels.json")
+	}
+	start := time.Now()
+	// zeroAlloc marks the kernels with a zero-alloc steady-state
+	// guarantee; full_smooth walks the tree with per-pass bookkeeping
+	// and is measured without the assertion.
+	kernels := []struct {
+		name      string
+		fn        func(*testing.B, int)
+		zeroAlloc bool
+	}{
+		{"down_partial_cached", benchDownPartial, true},
+		{"newton_edge", benchNewton, true},
+		{"full_smooth", benchSmooth, false},
+	}
+	totals := map[string]float64{
+		"num_cpu":    float64(runtime.NumCPU()),
+		"gomaxprocs": float64(runtime.GOMAXPROCS(0)),
+	}
+	details := map[string]any{}
+	for _, k := range kernels {
+		per := map[string]any{}
+		var serialNs float64
+		for _, n := range benchThreadCounts {
+			n := n
+			r := testing.Benchmark(func(b *testing.B) { k.fn(b, n) })
+			ns := float64(r.NsPerOp())
+			if n == 1 {
+				serialNs = ns
+			}
+			per[fmt.Sprintf("threads_%d", n)] = map[string]float64{
+				"ns_per_op":         ns,
+				"allocs_per_op":     float64(r.AllocsPerOp()),
+				"bytes_per_op":      float64(r.AllocedBytesPerOp()),
+				"speedup_vs_serial": serialNs / ns,
+			}
+			totals[fmt.Sprintf("%s_threads_%d_ns", k.name, n)] = ns
+			if k.zeroAlloc && r.AllocsPerOp() != 0 {
+				t.Errorf("%s threads=%d: %d allocs/op in steady state, want 0",
+					k.name, n, r.AllocsPerOp())
+			}
+			t.Logf("%s threads=%d: %v/op, %d allocs/op", k.name, n, r.NsPerOp(), r.AllocsPerOp())
+		}
+		details[k.name] = per
+	}
+	path, err := obs.WriteBench(dir, obs.BenchReport{
+		Run:       "kernels",
+		StartedAt: start,
+		Totals:    totals,
+		Details:   details,
+	})
+	if err != nil {
+		t.Fatalf("bench report: %v", err)
+	}
+	t.Logf("wrote %s", path)
+}

@@ -1,0 +1,118 @@
+package likelihood
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// Kernel benchmarks for the scaling study. Run with
+//
+//	go test -run XXX -bench 'DownPartial|NewtonEdge' -cpu 1,2,4 -benchmem ./internal/likelihood/
+//
+// (make bench). ReportAllocs asserts the zero-alloc steady state; the
+// threads=N sub-benchmarks measure the sharded kernels against the
+// serial baseline on identical data.
+
+var benchThreadCounts = []int{1, 2, 4, 8}
+
+// benchEngine builds a warmed engine + tree at the given thread count.
+func benchEngine(b *testing.B, threads int) (*Engine, *tree.Tree) {
+	b.Helper()
+	m, p, tr := threadFixture(b, 17, 24, 3000)
+	eng, err := New(m, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if threads > 1 {
+		eng.SetThreads(threads)
+	}
+	if _, err := eng.LogLikelihood(tr); err != nil {
+		b.Fatal(err)
+	}
+	return eng, tr
+}
+
+// BenchmarkDownPartialCached measures the pruning recompute path with a
+// warm arena: perturbing one interior branch per iteration invalidates
+// the chain of CLVs that depend on it, so each evaluation re-runs the
+// combine/rescale kernels (sharded when threads > 1) against cached
+// children — the dominant kernel of an add or rearrangement round.
+func BenchmarkDownPartialCached(b *testing.B) {
+	for _, threads := range benchThreadCounts {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			benchDownPartial(b, threads)
+		})
+	}
+}
+
+func benchDownPartial(b *testing.B, threads int) {
+	eng, tr := benchEngine(b, threads)
+	defer eng.Close()
+	internal := tr.InternalEdges()
+	if len(internal) == 0 {
+		b.Fatal("no internal edges")
+	}
+	ed := internal[len(internal)/2]
+	z := ed.Length()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.SetLen(ed.A, ed.B, z+float64(i%2)*1e-6)
+		if _, err := eng.LogLikelihood(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewtonEdge measures single-edge Newton-Raphson optimization
+// on a warm cache: the first/second-derivative kernel dominates.
+func BenchmarkNewtonEdge(b *testing.B) {
+	for _, threads := range benchThreadCounts {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			benchNewton(b, threads)
+		})
+	}
+}
+
+func benchNewton(b *testing.B, threads int) {
+	eng, tr := benchEngine(b, threads)
+	defer eng.Close()
+	ed, ok := tr.FirstEdge()
+	if !ok {
+		b.Fatal("no edge")
+	}
+	if _, err := eng.OptimizeEdge(tr, ed); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.OptimizeEdge(tr, ed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullSmooth measures a full smoothing pass over every branch —
+// the dominant cost of round-best re-optimization in the search.
+func BenchmarkFullSmooth(b *testing.B) {
+	for _, threads := range benchThreadCounts {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			benchSmooth(b, threads)
+		})
+	}
+}
+
+func benchSmooth(b *testing.B, threads int) {
+	eng, tr := benchEngine(b, threads)
+	defer eng.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.OptimizeBranches(tr, OptOptions{Passes: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

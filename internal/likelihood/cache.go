@@ -55,6 +55,9 @@ type EngineStats struct {
 	// length optimization (the per-phase work measure of the paper's §4
 	// breakdown that pure op counts miss).
 	NewtonIters uint64
+	// ShardDispatches counts kernel launches fanned out to the thread
+	// pool (zero for single-threaded engines).
+	ShardDispatches uint64
 	// EvalTime is wall-clock time spent inside the engine's evaluation
 	// entry points (LogLikelihood, OptimizeBranches, insertion scoring).
 	// Stored at full time.Duration precision; the JSON form keeps the
@@ -74,6 +77,7 @@ type engineStatsJSON struct {
 	Flushes     uint64  `json:"flushes"`
 	Entries     int     `json:"entries"`
 	NewtonIters uint64  `json:"newton_iters"`
+	ShardDisp   uint64  `json:"shard_dispatches,omitempty"`
 	EvalTimeMs  float64 `json:"eval_time_ms"`
 }
 
@@ -82,8 +86,8 @@ func (s EngineStats) MarshalJSON() ([]byte, error) {
 	return json.Marshal(engineStatsJSON{
 		Hits: s.Hits, Misses: s.Misses, Recomputed: s.Recomputed,
 		Invalidated: s.Invalidated, Flushes: s.Flushes, Entries: s.Entries,
-		NewtonIters: s.NewtonIters,
-		EvalTimeMs:  float64(s.EvalTime) / float64(time.Millisecond),
+		NewtonIters: s.NewtonIters, ShardDisp: s.ShardDispatches,
+		EvalTimeMs: float64(s.EvalTime) / float64(time.Millisecond),
 	})
 }
 
@@ -96,8 +100,8 @@ func (s *EngineStats) UnmarshalJSON(data []byte) error {
 	*s = EngineStats{
 		Hits: j.Hits, Misses: j.Misses, Recomputed: j.Recomputed,
 		Invalidated: j.Invalidated, Flushes: j.Flushes, Entries: j.Entries,
-		NewtonIters: j.NewtonIters,
-		EvalTime:    time.Duration(j.EvalTimeMs * float64(time.Millisecond)),
+		NewtonIters: j.NewtonIters, ShardDispatches: j.ShardDisp,
+		EvalTime: time.Duration(j.EvalTimeMs * float64(time.Millisecond)),
 	}
 	return nil
 }
@@ -131,6 +135,33 @@ type clvEntry struct {
 type clvCache struct {
 	byNode [][]*clvEntry
 	gen    uint64
+
+	// Slab arena for entry buffers: CLV and scale vectors are carved out
+	// of shared slabs (clvSlabEntries entries per slab) instead of being
+	// allocated one make() pair per entry, so growing a tree allocates
+	// O(taxa / slabEntries) times rather than O(taxa) and steady-state
+	// evaluation allocates nothing.
+	slabF []float64
+	slabI []int32
+}
+
+// clvSlabEntries is how many entries' worth of buffers one slab holds.
+const clvSlabEntries = 16
+
+// allocCLV carves one entry's CLV and scale buffers from the slabs.
+func (c *clvCache) allocCLV(npat int) ([]float64, []int32) {
+	nf, ni := npat*4, npat
+	if cap(c.slabF)-len(c.slabF) < nf {
+		c.slabF = make([]float64, 0, nf*clvSlabEntries)
+	}
+	if cap(c.slabI)-len(c.slabI) < ni {
+		c.slabI = make([]int32, 0, ni*clvSlabEntries)
+	}
+	clv := c.slabF[len(c.slabF) : len(c.slabF)+nf : len(c.slabF)+nf]
+	c.slabF = c.slabF[:len(c.slabF)+nf]
+	sc := c.slabI[len(c.slabI) : len(c.slabI)+ni : len(c.slabI)+ni]
+	c.slabI = c.slabI[:len(c.slabI)+ni]
+	return clv, sc
 }
 
 func (c *clvCache) nextGen() uint64 {

@@ -99,19 +99,41 @@ type Engine struct {
 	// points (OptimizeBranches calls LogLikelihood per pass); only the
 	// outermost call contributes wall-clock time.
 	evalDepth int
+
+	// Sharded kernels (shard.go): the fixed shard layout (a pure function
+	// of the data), the persistent goroutine pool (nil when threads <= 1),
+	// the engine-held kernel arguments, and the per-shard reduction
+	// partials summed in shard index order.
+	threads          int
+	shards           []shard
+	pool             *shardPool
+	kern             kernArgs
+	shLnL, shD1, shD2 []float64
+
+	// Arena scratch reused across evaluations: the per-pattern site
+	// vector SiteLogLikelihoods fills (siteBuf) and the four junction
+	// vectors insertion scoring needs (ins*). Both are lazily sized once.
+	siteBuf           []float64
+	insJclv, insRest  []float64
+	insJsc, insRestSc []int32
 }
 
-// timeEval starts the stats clock for a public evaluation entry point and
-// returns the function that stops it. Nested entry points are free: two
-// time.Now calls per outermost invocation, nothing in the kernels.
-func (e *Engine) timeEval() func() {
+// beginEval starts the stats clock for a public evaluation entry point;
+// endEval stops it. Nested entry points are free: two time.Now calls per
+// outermost invocation, nothing in the kernels, and no closure (use as
+// `defer e.endEval(e.beginEval())`, which Go open-codes without
+// allocating).
+func (e *Engine) beginEval() time.Time {
 	e.evalDepth++
 	if e.evalDepth > 1 {
-		return func() { e.evalDepth-- }
+		return time.Time{}
 	}
-	start := time.Now()
-	return func() {
-		e.evalDepth--
+	return time.Now()
+}
+
+func (e *Engine) endEval(start time.Time) {
+	e.evalDepth--
+	if e.evalDepth == 0 {
 		e.stats.EvalTime += time.Since(start)
 	}
 }
@@ -180,6 +202,15 @@ func New(m model.Model, p *seq.Patterns) (*Engine, error) {
 		e.tips[taxon] = v
 	}
 	e.zeroScale = make([]int32, e.npat)
+
+	// Shard layout and reduction partials (shard.go). The layout depends
+	// only on the data, so every thread count — including 1 — reduces in
+	// the same order and produces bit-identical results.
+	e.shards = buildShards(e.blocks, e.npat)
+	e.shLnL = make([]float64, len(e.shards))
+	e.shD1 = make([]float64, len(e.shards))
+	e.shD2 = make([]float64, len(e.shards))
+	e.threads = 1
 	return e, nil
 }
 
@@ -235,48 +266,23 @@ func clampLen(z float64) float64 {
 func (e *Engine) combineInto(dst []float64, dsc []int32, src []float64, ssc []int32, z float64, first bool) {
 	e.fillProbs(clampLen(z))
 	e.ops += uint64(e.npat) * 16
+	k := &e.kern
 	if first {
-		for _, blk := range e.blocks {
-			pm := &e.pmat[blk.ci]
-			for p := blk.lo; p < blk.hi; p++ {
-				c0, c1, c2, c3 := src[p*4], src[p*4+1], src[p*4+2], src[p*4+3]
-				for j := 0; j < 4; j++ {
-					dst[p*4+j] = pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
-				}
-				dsc[p] = ssc[p]
-			}
-		}
-		return
+		k.op = kCombineFirst
+	} else {
+		k.op = kCombineMul
 	}
-	for _, blk := range e.blocks {
-		pm := &e.pmat[blk.ci]
-		for p := blk.lo; p < blk.hi; p++ {
-			c0, c1, c2, c3 := src[p*4], src[p*4+1], src[p*4+2], src[p*4+3]
-			for j := 0; j < 4; j++ {
-				dst[p*4+j] *= pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
-			}
-			dsc[p] += ssc[p]
-		}
-	}
+	k.dst, k.dsc, k.src, k.ssc = dst, dsc, src, ssc
+	e.runShards()
 }
 
 // rescale applies underflow protection (paper §2.1) to a CLV in place:
 // tiny pattern vectors are multiplied up and the event counted.
 func (e *Engine) rescale(clv []float64, sc []int32) {
-	for p := 0; p < e.npat; p++ {
-		m := clv[p*4]
-		for j := 1; j < 4; j++ {
-			if clv[p*4+j] > m {
-				m = clv[p*4+j]
-			}
-		}
-		if m < scaleThreshold && m > 0 {
-			for j := 0; j < 4; j++ {
-				clv[p*4+j] *= scaleFactor
-			}
-			sc[p]++
-		}
-	}
+	k := &e.kern
+	k.op = kRescale
+	k.dst, k.dsc = clv, sc
+	e.runShards()
 }
 
 // partial returns the conditional likelihood vector of the subtree at n
@@ -330,8 +336,7 @@ func (e *Engine) partial(n, parent *tree.Node) ([]float64, []int32, uint64) {
 	e.stats.Recomputed++
 
 	if ent.clv == nil {
-		ent.clv = make([]float64, e.npat*4)
-		ent.scale = make([]int32, e.npat)
+		ent.clv, ent.scale = e.cache.allocCLV(e.npat)
 	}
 	for i := range tmp {
 		e.combineInto(ent.clv, ent.scale, tmp[i].clv, tmp[i].sc, tmp[i].z, i == 0)
@@ -362,21 +367,15 @@ func (e *Engine) downPartial(n, parent *tree.Node) ([]float64, []int32) {
 func (e *Engine) edgeLogLikelihood(aclv []float64, asc []int32, bclv []float64, bsc []int32, z float64) float64 {
 	e.fillProbs(clampLen(z))
 	e.ops += uint64(e.npat) * 20
+	k := &e.kern
+	k.op = kEdgeLnL
+	k.aclv, k.asc, k.bclv, k.bsc = aclv, asc, bclv, bsc
+	e.runShards()
+	// Ordered reduction: per-shard partials summed in shard index order,
+	// independent of which thread computed them.
 	total := 0.0
-	for _, blk := range e.blocks {
-		pm := &e.pmat[blk.ci]
-		for p := blk.lo; p < blk.hi; p++ {
-			b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
-			lkl := 0.0
-			for i := 0; i < 4; i++ {
-				lkl += e.freqs[i] * aclv[p*4+i] *
-					(pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
-			}
-			if lkl <= 0 {
-				lkl = math.SmallestNonzeroFloat64
-			}
-			total += e.weights[p] * (math.Log(lkl) - float64(asc[p]+bsc[p])*logScale)
-		}
+	for s := range e.shards {
+		total += e.shLnL[s]
 	}
 	return total
 }
@@ -386,17 +385,16 @@ func (e *Engine) edgeLogLikelihood(aclv []float64, asc []int32, bclv []float64, 
 // covered by the data set. Evaluation is incremental: only conditional
 // likelihood vectors invalidated since the previous call are recomputed.
 func (e *Engine) LogLikelihood(t *tree.Tree) (float64, error) {
-	defer e.timeEval()()
+	defer e.endEval(e.beginEval())
 	if err := e.checkTree(t); err != nil {
 		return 0, err
 	}
 	e.ensureBuffers(t.MaxID())
 	// Evaluate across an arbitrary edge.
-	edges := t.Edges()
-	if len(edges) == 0 {
+	ed, ok := t.FirstEdge()
+	if !ok {
 		return 0, fmt.Errorf("likelihood: tree has no edges")
 	}
-	ed := edges[0]
 	aclv, asc, _ := e.partial(ed.A, ed.B)
 	bclv, bsc, _ := e.partial(ed.B, ed.A)
 	return e.edgeLogLikelihood(aclv, asc, bclv, bsc, ed.Length()), nil
@@ -404,38 +402,30 @@ func (e *Engine) LogLikelihood(t *tree.Tree) (float64, error) {
 
 // SiteLogLikelihoods returns the per-pattern log-likelihoods of the tree
 // (weights not applied) in the original pattern order of Patterns(), used
-// by DNArates-style per-site estimation.
+// by DNArates-style per-site estimation. The returned slice is owned by
+// the engine and overwritten by the next call; callers that retain it
+// across calls must copy.
 func (e *Engine) SiteLogLikelihoods(t *tree.Tree) ([]float64, error) {
-	defer e.timeEval()()
+	defer e.endEval(e.beginEval())
 	if err := e.checkTree(t); err != nil {
 		return nil, err
 	}
 	e.ensureBuffers(t.MaxID())
-	edges := t.Edges()
-	if len(edges) == 0 {
+	ed, ok := t.FirstEdge()
+	if !ok {
 		return nil, fmt.Errorf("likelihood: tree has no edges")
 	}
-	ed := edges[0]
 	aclv, asc, _ := e.partial(ed.A, ed.B)
 	bclv, bsc, _ := e.partial(ed.B, ed.A)
 	e.fillProbs(clampLen(ed.Length()))
-	out := make([]float64, e.npat)
-	for _, blk := range e.blocks {
-		pm := &e.pmat[blk.ci]
-		for p := blk.lo; p < blk.hi; p++ {
-			b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
-			lkl := 0.0
-			for i := 0; i < 4; i++ {
-				lkl += e.freqs[i] * aclv[p*4+i] *
-					(pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
-			}
-			if lkl <= 0 {
-				lkl = math.SmallestNonzeroFloat64
-			}
-			out[e.perm[p]] = math.Log(lkl) - float64(asc[p]+bsc[p])*logScale
-		}
+	if e.siteBuf == nil {
+		e.siteBuf = make([]float64, e.npat)
 	}
-	return out, nil
+	k := &e.kern
+	k.op = kSiteLnL
+	k.aclv, k.asc, k.bclv, k.bsc, k.out = aclv, asc, bclv, bsc, e.siteBuf
+	e.runShards()
+	return e.siteBuf, nil
 }
 
 // checkTree verifies the tree is usable with this data set.

@@ -30,12 +30,15 @@ type InsertScore struct {
 // InsertScorer scores candidate insertions of one taxon into one base
 // tree. It is bound to the engine that created it and is not safe for
 // concurrent use. The base tree must not be mutated between Score calls.
+// Scorers share their engine's arena scratch, so only the most recently
+// created scorer of an engine may be used.
 type InsertScorer struct {
 	e     *Engine
 	t     *tree.Tree
 	taxon int
 
-	// junction and rest-of-junction scratch vectors, reused per call.
+	// junction and rest-of-junction scratch vectors, views into the
+	// engine arena, reused per call (and across scorers).
 	jclv, rest  []float64
 	jsc, restSc []int32
 }
@@ -53,10 +56,16 @@ func (e *Engine) NewInsertScorer(base *tree.Tree, taxon int) (*InsertScorer, err
 		return nil, fmt.Errorf("likelihood: taxon %d already in base tree", taxon)
 	}
 	e.ensureBuffers(base.MaxID())
+	if e.insJclv == nil {
+		e.insJclv = make([]float64, e.npat*4)
+		e.insRest = make([]float64, e.npat*4)
+		e.insJsc = make([]int32, e.npat)
+		e.insRestSc = make([]int32, e.npat)
+	}
 	return &InsertScorer{
 		e: e, t: base, taxon: taxon,
-		jclv: make([]float64, e.npat*4), jsc: make([]int32, e.npat),
-		rest: make([]float64, e.npat*4), restSc: make([]int32, e.npat),
+		jclv: e.insJclv, jsc: e.insJsc,
+		rest: e.insRest, restSc: e.insRestSc,
 	}, nil
 }
 
@@ -66,7 +75,7 @@ func (e *Engine) NewInsertScorer(base *tree.Tree, taxon int) (*InsertScorer, err
 // the three junction branches for the given number of passes (minimum 1).
 // The base tree is not modified.
 func (s *InsertScorer) Score(ed tree.Edge, passes int) (InsertScore, error) {
-	defer s.e.timeEval()()
+	defer s.e.endEval(s.e.beginEval())
 	a, b := ed.A, ed.B
 	if a.NbrIndex(b) < 0 {
 		return InsertScore{}, fmt.Errorf("likelihood: insertion edge %d-%d does not exist", a.ID, b.ID)

@@ -61,7 +61,7 @@ func (o OptOptions) withDefaults() OptOptions {
 // log-likelihood. With Around/Centers set, only nearby branches are
 // optimized but the returned value is still the full-tree log-likelihood.
 func (e *Engine) OptimizeBranches(t *tree.Tree, opt OptOptions) (float64, error) {
-	defer e.timeEval()()
+	defer e.endEval(e.beginEval())
 	opt = opt.withDefaults()
 	if err := e.checkTree(t); err != nil {
 		return 0, err
@@ -234,27 +234,16 @@ func (e *Engine) newtonEdge(aclv []float64, asc []int32, bclv []float64, bsc []i
 func (e *Engine) edgeDerivatives(aclv []float64, asc []int32, bclv []float64, bsc []int32, z float64) (float64, float64, float64) {
 	e.fillProbsDeriv(clampLen(z))
 	e.ops += uint64(e.npat) * 48
+	k := &e.kern
+	k.op = kDeriv
+	k.aclv, k.asc, k.bclv, k.bsc = aclv, asc, bclv, bsc
+	e.runShards()
+	// Ordered reduction over the per-shard derivative partials.
 	d1, d2, lnL := 0.0, 0.0, 0.0
-	for _, blk := range e.blocks {
-		pm, dm, ddm := &e.pmat[blk.ci], &e.dmat[blk.ci], &e.ddmat[blk.ci]
-		for p := blk.lo; p < blk.hi; p++ {
-			b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
-			var l, dl, ddl float64
-			for i := 0; i < 4; i++ {
-				ai := e.freqs[i] * aclv[p*4+i]
-				l += ai * (pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
-				dl += ai * (dm[i][0]*b0 + dm[i][1]*b1 + dm[i][2]*b2 + dm[i][3]*b3)
-				ddl += ai * (ddm[i][0]*b0 + ddm[i][1]*b1 + ddm[i][2]*b2 + ddm[i][3]*b3)
-			}
-			if l <= 0 {
-				l = math.SmallestNonzeroFloat64
-			}
-			w := e.weights[p]
-			r := dl / l
-			d1 += w * r
-			d2 += w * (ddl/l - r*r)
-			lnL += w * (math.Log(l) - float64(asc[p]+bsc[p])*logScale)
-		}
+	for s := range e.shards {
+		d1 += e.shD1[s]
+		d2 += e.shD2[s]
+		lnL += e.shLnL[s]
 	}
 	return d1, d2, lnL
 }
@@ -263,7 +252,7 @@ func (e *Engine) edgeDerivatives(aclv []float64, asc []int32, bclv []float64, bs
 // returns the resulting full-tree log-likelihood. Exposed for tests and
 // fine-grained use.
 func (e *Engine) OptimizeEdge(t *tree.Tree, ed tree.Edge) (float64, error) {
-	defer e.timeEval()()
+	defer e.endEval(e.beginEval())
 	if err := e.checkTree(t); err != nil {
 		return 0, err
 	}

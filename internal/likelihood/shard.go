@@ -1,0 +1,323 @@
+package likelihood
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Multi-core kernels: the pattern dimension of every inner loop —
+// pruning combines, rescaling, the root log-likelihood sum, and the
+// Newton first/second-derivative sums — is data-parallel, so the engine
+// cuts the permuted pattern range into fixed shards and runs each kernel
+// shard-by-shard on a persistent per-engine goroutine pool.
+//
+// Determinism contract: the shard layout is a pure function of the data
+// (pattern count and rate-class blocks), never of the thread count, and
+// reductions accumulate one partial per shard which the caller sums in
+// shard index order. Threads therefore only changes which goroutine runs
+// a shard, not a single floating-point operation or its order, so
+// Threads: N is bit-identical to Threads: 1 for every kernel.
+
+const (
+	// minShardPatterns is the smallest pattern range worth a shard; tiny
+	// data sets stay single-sharded and pay no reduction restructuring.
+	minShardPatterns = 64
+	// maxShards bounds the layout (and the per-shard partial arrays).
+	maxShards = 16
+)
+
+// shardSeg is a run of patterns within one rate-class block, so kernels
+// still hoist the transition-matrix lookup out of the pattern loop.
+type shardSeg struct {
+	ci     int // rate class index
+	lo, hi int // permuted pattern index range [lo, hi)
+}
+
+// shard is one contiguous pattern range, pre-cut into class segments.
+type shard struct {
+	segs []shardSeg
+}
+
+// buildShards cuts [0, npat) into near-equal contiguous ranges aligned
+// with the class blocks: a shard boundary inside a block splits it into
+// segments that each stay within one class.
+func buildShards(blocks []classBlock, npat int) []shard {
+	n := npat / minShardPatterns
+	if n < 1 {
+		n = 1
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	shards := make([]shard, n)
+	for s := 0; s < n; s++ {
+		lo, hi := s*npat/n, (s+1)*npat/n
+		for _, blk := range blocks {
+			slo, shi := max(lo, blk.lo), min(hi, blk.hi)
+			if slo < shi {
+				shards[s].segs = append(shards[s].segs, shardSeg{ci: blk.ci, lo: slo, hi: shi})
+			}
+		}
+	}
+	return shards
+}
+
+// Kernel opcodes for the engine-held dispatch arguments. Keeping the
+// arguments in a struct owned by the engine (rather than a closure per
+// call) is what makes threaded dispatch allocation-free.
+const (
+	kCombineFirst = iota
+	kCombineMul
+	kRescale
+	kEdgeLnL
+	kDeriv
+	kSiteLnL
+)
+
+// kernArgs carries one kernel invocation's inputs. Written by the
+// dispatching caller before the pool wakes, read by the shard workers;
+// the wake channel send and WaitGroup wait order the accesses.
+type kernArgs struct {
+	op         int
+	dst, src   []float64
+	dsc, ssc   []int32
+	aclv, bclv []float64
+	asc, bsc   []int32
+	out        []float64
+}
+
+// shardPool runs kernel shards on threads-1 persistent goroutines plus
+// the calling goroutine. Shards are claimed by an atomic counter, so a
+// slow core never strands work pinned to it.
+type shardPool struct {
+	e    *Engine
+	wake []chan struct{}
+	quit chan struct{}
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+func newShardPool(e *Engine, workers int) *shardPool {
+	p := &shardPool{e: e, quit: make(chan struct{})}
+	p.wake = make([]chan struct{}, workers)
+	for i := range p.wake {
+		p.wake[i] = make(chan struct{}, 1)
+		go p.worker(p.wake[i])
+	}
+	return p
+}
+
+func (p *shardPool) worker(wake chan struct{}) {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-wake:
+			p.drain()
+			p.wg.Done()
+		}
+	}
+}
+
+// drain claims and runs shards until the counter runs past the layout.
+func (p *shardPool) drain() {
+	n := len(p.e.shards)
+	for {
+		s := int(p.next.Add(1)) - 1
+		if s >= n {
+			return
+		}
+		p.e.shardKernel(s)
+	}
+}
+
+// dispatch runs the engine's current kernel over all shards, caller
+// participating, and returns when every shard completed.
+func (p *shardPool) dispatch() {
+	p.next.Store(0)
+	p.wg.Add(len(p.wake))
+	for _, ch := range p.wake {
+		ch <- struct{}{}
+	}
+	p.drain()
+	p.wg.Wait()
+}
+
+func (p *shardPool) stop() { close(p.quit) }
+
+// SetThreads sizes the engine's kernel pool to n threads (the caller
+// plus n-1 persistent goroutines); n <= 1 restores single-threaded
+// operation. It must not be called while an evaluation is in progress.
+// Results are bit-identical for every n. Returns the engine for chaining.
+func (e *Engine) SetThreads(n int) *Engine {
+	if n < 1 {
+		n = 1
+	}
+	if n == e.threads {
+		return e
+	}
+	if e.pool != nil {
+		e.pool.stop()
+		e.pool = nil
+	}
+	e.threads = n
+	if n > 1 {
+		e.pool = newShardPool(e, n-1)
+	}
+	return e
+}
+
+// Threads reports the engine's configured kernel thread count.
+func (e *Engine) Threads() int { return e.threads }
+
+// Close releases the engine's kernel pool goroutines. It is a no-op for
+// single-threaded engines; threaded engines should be closed when no
+// longer needed.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.stop()
+		e.pool = nil
+		e.threads = 1
+	}
+}
+
+// runShards executes the kernel described by e.kern over every shard.
+func (e *Engine) runShards() {
+	if e.pool == nil {
+		for s := range e.shards {
+			e.shardKernel(s)
+		}
+		return
+	}
+	e.stats.ShardDispatches++
+	e.pool.dispatch()
+}
+
+// shardKernel runs the current kernel over shard s. It is the only code
+// executed by pool goroutines; everything it touches is either read-only
+// during a dispatch (transition matrices, tips, weights) or partitioned
+// by shard (CLV ranges, per-shard partials).
+func (e *Engine) shardKernel(s int) {
+	k := &e.kern
+	segs := e.shards[s].segs
+	switch k.op {
+	case kCombineFirst:
+		dst, dsc, src, ssc := k.dst, k.dsc, k.src, k.ssc
+		for _, seg := range segs {
+			pm := &e.pmat[seg.ci]
+			for p := seg.lo; p < seg.hi; p++ {
+				c0, c1, c2, c3 := src[p*4], src[p*4+1], src[p*4+2], src[p*4+3]
+				for j := 0; j < 4; j++ {
+					dst[p*4+j] = pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
+				}
+				dsc[p] = ssc[p]
+			}
+		}
+	case kCombineMul:
+		dst, dsc, src, ssc := k.dst, k.dsc, k.src, k.ssc
+		for _, seg := range segs {
+			pm := &e.pmat[seg.ci]
+			for p := seg.lo; p < seg.hi; p++ {
+				c0, c1, c2, c3 := src[p*4], src[p*4+1], src[p*4+2], src[p*4+3]
+				for j := 0; j < 4; j++ {
+					dst[p*4+j] *= pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
+				}
+				dsc[p] += ssc[p]
+			}
+		}
+	case kRescale:
+		clv, sc := k.dst, k.dsc
+		for _, seg := range segs {
+			for p := seg.lo; p < seg.hi; p++ {
+				m := clv[p*4]
+				for j := 1; j < 4; j++ {
+					if clv[p*4+j] > m {
+						m = clv[p*4+j]
+					}
+				}
+				if m < scaleThreshold && m > 0 {
+					for j := 0; j < 4; j++ {
+						clv[p*4+j] *= scaleFactor
+					}
+					sc[p]++
+				}
+			}
+		}
+	case kEdgeLnL:
+		e.shardEdgeLnL(s, segs)
+	case kDeriv:
+		e.shardDeriv(s, segs)
+	case kSiteLnL:
+		aclv, asc, bclv, bsc, out := k.aclv, k.asc, k.bclv, k.bsc, k.out
+		for _, seg := range segs {
+			pm := &e.pmat[seg.ci]
+			for p := seg.lo; p < seg.hi; p++ {
+				b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
+				lkl := 0.0
+				for i := 0; i < 4; i++ {
+					lkl += e.freqs[i] * aclv[p*4+i] *
+						(pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
+				}
+				if lkl <= 0 {
+					lkl = math.SmallestNonzeroFloat64
+				}
+				out[e.perm[p]] = math.Log(lkl) - float64(asc[p]+bsc[p])*logScale
+			}
+		}
+	}
+}
+
+// shardEdgeLnL accumulates shard s's root log-likelihood partial into
+// e.shLnL[s]; the caller sums the partials in shard index order.
+func (e *Engine) shardEdgeLnL(s int, segs []shardSeg) {
+	k := &e.kern
+	aclv, asc, bclv, bsc := k.aclv, k.asc, k.bclv, k.bsc
+	total := 0.0
+	for _, seg := range segs {
+		pm := &e.pmat[seg.ci]
+		for p := seg.lo; p < seg.hi; p++ {
+			b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
+			lkl := 0.0
+			for i := 0; i < 4; i++ {
+				lkl += e.freqs[i] * aclv[p*4+i] *
+					(pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
+			}
+			if lkl <= 0 {
+				lkl = math.SmallestNonzeroFloat64
+			}
+			total += e.weights[p] * (math.Log(lkl) - float64(asc[p]+bsc[p])*logScale)
+		}
+	}
+	e.shLnL[s] = total
+}
+
+// shardDeriv accumulates shard s's Newton derivative partials into
+// e.shD1[s], e.shD2[s], e.shLnL[s].
+func (e *Engine) shardDeriv(s int, segs []shardSeg) {
+	k := &e.kern
+	aclv, asc, bclv, bsc := k.aclv, k.asc, k.bclv, k.bsc
+	d1, d2, lnL := 0.0, 0.0, 0.0
+	for _, seg := range segs {
+		pm, dm, ddm := &e.pmat[seg.ci], &e.dmat[seg.ci], &e.ddmat[seg.ci]
+		for p := seg.lo; p < seg.hi; p++ {
+			b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
+			var l, dl, ddl float64
+			for i := 0; i < 4; i++ {
+				ai := e.freqs[i] * aclv[p*4+i]
+				l += ai * (pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
+				dl += ai * (dm[i][0]*b0 + dm[i][1]*b1 + dm[i][2]*b2 + dm[i][3]*b3)
+				ddl += ai * (ddm[i][0]*b0 + ddm[i][1]*b1 + ddm[i][2]*b2 + ddm[i][3]*b3)
+			}
+			if l <= 0 {
+				l = math.SmallestNonzeroFloat64
+			}
+			w := e.weights[p]
+			r := dl / l
+			d1 += w * r
+			d2 += w * (ddl/l - r*r)
+			lnL += w * (math.Log(l) - float64(asc[p]+bsc[p])*logScale)
+		}
+	}
+	e.shD1[s], e.shD2[s], e.shLnL[s] = d1, d2, lnL
+}

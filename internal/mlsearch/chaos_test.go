@@ -21,6 +21,9 @@ import (
 // quarter of its replies. Through all of it the run must finish and the
 // final tree and log-likelihood must be bit-identical to the serial
 // answer — membership chaos is pure work distribution (paper §2.2).
+// Workers run mixed engine thread counts and the foreman pipelines two
+// tasks per worker, so the soak also exercises the threaded kernels and
+// pipelining under churn.
 func TestTCPChaosSoak(t *testing.T) {
 	soakStart := time.Now()
 	ds, err := simulate.New(simulate.Options{Taxa: 9, Sites: 160, Seed: 41, MeanBranchLen: 0.12})
@@ -36,7 +39,7 @@ func TestTCPChaosSoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Config{Taxa: taxa, Patterns: pat, Model: m, Seed: 5, RearrangeExtent: 1}
+	cfg := Config{Taxa: taxa, Patterns: pat, Model: m, Seed: 5, RearrangeExtent: 1, Threads: 2}
 	serial, err := runSerial(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -54,7 +57,7 @@ func TestTCPChaosSoak(t *testing.T) {
 		Workers:     2, // barrier: the two original workers
 		WithMonitor: true,
 		Bundle:      bundle,
-		Foreman:     ForemanOptions{TaskTimeout: 200 * time.Millisecond, Tick: 20 * time.Millisecond},
+		Foreman:     ForemanOptions{TaskTimeout: 200 * time.Millisecond, Tick: 20 * time.Millisecond, Pipeline: 2},
 		Progress: func(jumble int, ev ProgressEvent) {
 			if ev.TaxaInTree >= 5 {
 				joinOnce.Do(func() { close(joinCh) })
@@ -79,11 +82,11 @@ func TestTCPChaosSoak(t *testing.T) {
 
 	fastRetry := ReconnectPolicy{Base: 5 * time.Millisecond, Cap: 40 * time.Millisecond, MaxAttempts: 100}
 
-	// Worker A: well-behaved.
+	// Worker A: well-behaved, with a 2-thread engine.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if err := ServeElastic(addr, WorkerHooks{}, ReconnectPolicy{Disabled: true}); err != nil {
+		if err := ServeElastic(addr, WorkerHooks{Threads: 2}, ReconnectPolicy{Disabled: true}); err != nil {
 			t.Errorf("worker A: %v", err)
 		}
 	}()
@@ -100,6 +103,7 @@ func TestTCPChaosSoak(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		_ = ServeElastic(addr, WorkerHooks{
+			Threads: 3,
 			OnAttach: func(c comm.Communicator) {
 				victimMu.Lock()
 				victimConn = c

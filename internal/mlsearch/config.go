@@ -57,6 +57,13 @@ type Config struct {
 	// KeepRoundLog retains per-round task statistics for the cluster
 	// simulator. Default true.
 	DisableRoundLog bool
+
+	// Threads is the likelihood engine's kernel thread count for
+	// evaluators this config builds (serial dispatcher, inline foreman
+	// evaluator, local workers that do not override it). Default 1.
+	// Results are bit-identical across thread counts: sharding is a pure
+	// function of the data and reductions run in shard order.
+	Threads int
 }
 
 // Normalize validates the configuration and fills defaults, returning the
@@ -88,6 +95,9 @@ func (c Config) Normalize() (Config, error) {
 	}
 	if c.Epsilon <= 0 {
 		c.Epsilon = 1e-5
+	}
+	if c.Threads < 1 {
+		c.Threads = 1
 	}
 	c.Seed = NormalizeSeed(c.Seed)
 	return c, nil

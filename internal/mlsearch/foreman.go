@@ -58,6 +58,15 @@ type ForemanOptions struct {
 	// DrainTimeout bounds how long shutdown waits for workers to
 	// acknowledge before closing anyway. Default 1s.
 	DrainTimeout time.Duration
+	// Pipeline is the number of tasks kept in flight per worker (default
+	// 2). With 1 the foreman behaves exactly like the paper's dispatcher:
+	// one tree per worker, a worker idles for a network round trip between
+	// tasks. With 2+ the next task is already queued at the worker when it
+	// finishes the current one, hiding dispatch latency. Assignment is
+	// breadth-first — every ready worker gets its first task before any
+	// worker gets a second — so with tasks <= workers the schedule is
+	// identical to Pipeline 1.
+	Pipeline int
 	// Obs, when non-nil, receives dispatch-loop instrumentation (metrics,
 	// typed events, trace spans, the /status snapshot). Nil costs one nil
 	// check per site.
@@ -74,6 +83,9 @@ func (o ForemanOptions) withDefaults() ForemanOptions {
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = time.Second
 	}
+	if o.Pipeline <= 0 {
+		o.Pipeline = 2
+	}
 	return o
 }
 
@@ -86,10 +98,16 @@ type foreman struct {
 	// members tracks every currently connected worker rank (including
 	// delinquent ones); departures are removed permanently.
 	members map[int]bool
-	// ready lists idle, alive workers (FIFO).
+	// ready lists alive workers with spare pipeline capacity (FIFO). A
+	// worker can be both ready and busy when it has fewer than Pipeline
+	// tasks in flight.
 	ready []int
-	// busy maps a worker rank to its current assignment.
-	busy map[int]dispatchRecord
+	// busy maps a worker rank to its in-flight assignments, oldest first.
+	// Workers with no assignments are absent (len(busy) counts busy
+	// workers).
+	busy map[int][]dispatchRecord
+	// inflight is the total dispatch count across all workers.
+	inflight int
 	// dead marks workers removed for missing a deadline (still
 	// connected, eligible for reinstatement).
 	dead map[int]bool
@@ -123,7 +141,7 @@ func RunForeman(c comm.Communicator, lay Layout, opt ForemanOptions) error {
 		lay:     lay,
 		opt:     opt.withDefaults(),
 		members: map[int]bool{},
-		busy:    map[int]dispatchRecord{},
+		busy:    map[int][]dispatchRecord{},
 		dead:    map[int]bool{},
 	}
 	for _, w := range lay.Workers {
@@ -226,7 +244,7 @@ func (f *foreman) runRound(batch roundBatch) (roundReply, error) {
 		// Degradation: with no live worker to wait for and work still
 		// queued, evaluate inline rather than stalling the round. A
 		// worker joining mid-round is folded in on its TagJoin.
-		if len(f.queue) > 0 && len(f.ready) == 0 && len(f.busy) == 0 && f.opt.Inline != nil {
+		if len(f.queue) > 0 && len(f.ready) == 0 && f.inflight == 0 && f.opt.Inline != nil {
 			if err := f.evalInline(); err != nil {
 				return roundReply{}, err
 			}
@@ -238,7 +256,7 @@ func (f *foreman) runRound(batch roundBatch) (roundReply, error) {
 		// there is no reason to wake every tick.
 		var msg comm.Message
 		var err error
-		if f.opt.TaskTimeout > 0 && len(f.busy) > 0 {
+		if f.opt.TaskTimeout > 0 && f.inflight > 0 {
 			msg, err = f.c.RecvTimeout(comm.AnySource, comm.AnyTag, f.opt.Tick)
 		} else {
 			msg, err = f.c.Recv(comm.AnySource, comm.AnyTag)
@@ -286,7 +304,39 @@ func (f *foreman) runRound(batch roundBatch) (roundReply, error) {
 
 // depths reports the scheduler's queue sizes to the observer.
 func (f *foreman) depths() {
-	f.opt.Obs.Depths(len(f.queue), len(f.busy), len(f.ready))
+	f.opt.Obs.Depths(len(f.queue), len(f.busy), len(f.ready), f.inflight)
+}
+
+// dropReady removes a worker from the ready queue if present.
+func (f *foreman) dropReady(w int) {
+	for i, r := range f.ready {
+		if r == w {
+			f.ready = append(f.ready[:i], f.ready[i+1:]...)
+			return
+		}
+	}
+}
+
+// dropBusy removes all of a worker's in-flight records and requeues the
+// not-yet-completed tasks at the queue front (oldest first) so
+// re-dispatch happens before fresh work.
+func (f *foreman) dropBusy(w int) (requeued int) {
+	recs, ok := f.busy[w]
+	if !ok {
+		return 0
+	}
+	delete(f.busy, w)
+	f.inflight -= len(recs)
+	var undone []Task
+	for _, rec := range recs {
+		if _, done := f.results[rec.task.ID]; !done {
+			undone = append(undone, rec.task)
+		}
+	}
+	if len(undone) > 0 {
+		f.queue = append(undone, f.queue...)
+	}
+	return len(undone)
 }
 
 // evalInline evaluates the next queued task in the foreman itself — the
@@ -320,25 +370,16 @@ func (f *foreman) handleJoin(w int) {
 	f.depths()
 }
 
-// handleLeave removes a departed worker permanently. Its in-flight task
-// is requeued at the front, reusing the expire/requeue machinery's
-// ordering so re-dispatch happens before fresh work.
+// handleLeave removes a departed worker permanently. Its in-flight
+// tasks are requeued at the front, reusing the expire/requeue
+// machinery's ordering so re-dispatch happens before fresh work.
 func (f *foreman) handleLeave(w int) {
 	delete(f.members, w)
 	delete(f.dead, w)
-	for i, r := range f.ready {
-		if r == w {
-			f.ready = append(f.ready[:i], f.ready[i+1:]...)
-			break
-		}
-	}
+	f.dropReady(w)
 	info := ""
-	if rec, ok := f.busy[w]; ok {
-		delete(f.busy, w)
-		if _, done := f.results[rec.task.ID]; !done {
-			f.queue = append([]Task{rec.task}, f.queue...)
-			info = fmt.Sprintf("task=%d requeued", rec.task.ID)
-		}
+	if n := f.dropBusy(w); n > 0 {
+		info = fmt.Sprintf("tasks=%d requeued", n)
 	}
 	f.event(monWorkerLeft, w, f.round, info)
 	f.opt.Obs.Left(w)
@@ -346,10 +387,11 @@ func (f *foreman) handleLeave(w int) {
 }
 
 // pushReady returns a worker to the ready queue, clearing its dead flag
-// and avoiding duplicates.
+// and avoiding duplicates. A worker already at its pipeline capacity
+// stays out; it re-enters when a result frees a slot.
 func (f *foreman) pushReady(w int) {
 	delete(f.dead, w)
-	if _, isBusy := f.busy[w]; isBusy {
+	if len(f.busy[w]) >= f.opt.Pipeline {
 		return
 	}
 	for _, r := range f.ready {
@@ -360,7 +402,11 @@ func (f *foreman) pushReady(w int) {
 	f.ready = append(f.ready, w)
 }
 
-// assign hands queued tasks to ready workers.
+// assign hands queued tasks to ready workers, keeping up to Pipeline
+// tasks in flight per worker. A worker with spare capacity re-enters at
+// the back of the ready queue, so assignment is breadth-first: every
+// ready worker receives its first task before any worker receives a
+// second.
 func (f *foreman) assign() {
 	for len(f.queue) > 0 && len(f.ready) > 0 {
 		t := f.queue[0]
@@ -375,17 +421,26 @@ func (f *foreman) assign() {
 		if f.opt.TaskTimeout > 0 {
 			rec.deadline = now.Add(f.opt.TaskTimeout)
 		}
-		if err := f.c.Send(w, comm.TagTask, MarshalTask(t)); err != nil {
+		buf := MarshalTask(t)
+		err := f.c.Send(w, comm.TagTask, buf)
+		comm.PutBuf(buf)
+		if err != nil {
 			// An unroutable worker has disconnected: drop it from the
-			// membership and requeue the task immediately.
+			// membership, requeue this task and anything else in flight
+			// to it immediately.
 			f.queue = append([]Task{t}, f.queue...)
 			delete(f.members, w)
 			delete(f.dead, w)
+			f.dropBusy(w)
 			f.event(monWorkerDead, w, t.Round, "send failed")
 			f.opt.Obs.TimedOut(w, t.Round, t.ID)
 			continue
 		}
-		f.busy[w] = rec
+		f.busy[w] = append(f.busy[w], rec)
+		f.inflight++
+		if len(f.busy[w]) < f.opt.Pipeline {
+			f.ready = append(f.ready, w)
+		}
 		f.event(monDispatch, w, t.Round, fmt.Sprintf("task=%d", t.ID))
 		if f.opt.Obs != nil {
 			f.opt.Obs.Dispatched(w, t.Round, t.ID, now.Sub(f.enq[t.ID]))
@@ -400,6 +455,7 @@ func (f *foreman) handleResult(msg comm.Message) error {
 	if err != nil {
 		return err
 	}
+	comm.PutBuf(msg.Data) // decoded (strings copied); recycle the frame
 	w := msg.From
 	res.Worker = int32(w)
 
@@ -414,9 +470,18 @@ func (f *foreman) handleResult(msg comm.Message) error {
 	// sender (e.g. a membership race): make sure it is a member.
 	f.members[w] = true
 	var rtt time.Duration
-	if rec, ok := f.busy[w]; ok && rec.task.ID == res.TaskID {
-		delete(f.busy, w)
-		rtt = time.Since(rec.sent)
+	for i, rec := range f.busy[w] {
+		if rec.task.ID == res.TaskID {
+			rtt = time.Since(rec.sent)
+			recs := append(f.busy[w][:i], f.busy[w][i+1:]...)
+			if len(recs) == 0 {
+				delete(f.busy, w)
+			} else {
+				f.busy[w] = recs
+			}
+			f.inflight--
+			break
+		}
 	}
 	if _, known := f.byID[res.TaskID]; known {
 		if _, dup := f.results[res.TaskID]; !dup {
@@ -439,17 +504,26 @@ func (f *foreman) expire() {
 		return
 	}
 	now := time.Now()
-	for w, rec := range f.busy {
-		if now.After(rec.deadline) {
-			delete(f.busy, w)
-			f.dead[w] = true
-			if _, done := f.results[rec.task.ID]; !done {
-				f.queue = append([]Task{rec.task}, f.queue...)
+	for w, recs := range f.busy {
+		expired := dispatchRecord{}
+		hit := false
+		for _, rec := range recs {
+			if now.After(rec.deadline) {
+				expired, hit = rec, true
+				break
 			}
-			f.event(monWorkerDead, w, rec.task.Round, fmt.Sprintf("task=%d timed out", rec.task.ID))
-			f.opt.Obs.TimedOut(w, rec.task.Round, rec.task.ID)
-			f.depths()
 		}
+		if !hit {
+			continue
+		}
+		// One overdue task condemns the worker: everything else queued
+		// behind it on that worker would stall too, so requeue the lot.
+		f.dead[w] = true
+		f.dropReady(w)
+		f.dropBusy(w)
+		f.event(monWorkerDead, w, expired.task.Round, fmt.Sprintf("task=%d timed out", expired.task.ID))
+		f.opt.Obs.TimedOut(w, expired.task.Round, expired.task.ID)
+		f.depths()
 	}
 }
 

@@ -71,7 +71,8 @@ func KishinoHasegawa(cfg Config, trees []*tree.Tree) ([]KHResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("mlsearch: tree %d: %w", i+1, err)
 		}
-		all = append(all, scored{idx: i, newick: cp.Newick(), lnL: lnL, perPat: perPat})
+		// The engine owns the returned slice; copy to retain per tree.
+		all = append(all, scored{idx: i, newick: cp.Newick(), lnL: lnL, perPat: append([]float64(nil), perPat...)})
 	}
 
 	bestIdx := 0

@@ -110,6 +110,7 @@ type RunSnapshot struct {
 	QueueDepth int                 `json:"queue_depth"`
 	Busy       int                 `json:"busy_workers"`
 	Ready      int                 `json:"ready_workers"`
+	Inflight   int                 `json:"inflight_tasks"`
 	Members    int                 `json:"members"`
 	BestLnL    float64             `json:"best_lnl"`
 	Dispatched int                 `json:"dispatched"`
@@ -141,6 +142,7 @@ type RunObserver struct {
 	gQueue      *obs.Gauge
 	gBusy       *obs.Gauge
 	gReady      *obs.Gauge
+	gInflight   *obs.Gauge
 	gBestLnL    *obs.Gauge
 	hPhase      *obs.HistogramVec
 
@@ -171,7 +173,8 @@ func NewRunObserver(reg *obs.Registry, bus *obs.Bus) *RunObserver {
 		gRound:      reg.Gauge("fdml_round", "Current dispatch round."),
 		gQueue:      reg.Gauge("fdml_queue_depth", "Tasks waiting in the work queue."),
 		gBusy:       reg.Gauge("fdml_busy_workers", "Workers with a task in flight."),
-		gReady:      reg.Gauge("fdml_ready_workers", "Idle, alive workers."),
+		gReady:      reg.Gauge("fdml_ready_workers", "Alive workers with spare pipeline capacity."),
+		gInflight:   reg.Gauge("fdml_inflight_tasks", "Total dispatched tasks awaiting results."),
 		gBestLnL:    reg.Gauge("fdml_best_lnl", "Best log-likelihood seen so far."),
 		hPhase:      reg.HistogramVec("fdml_task_phase_seconds", "Per-task phase latency.", taskPhaseBuckets, "phase"),
 
@@ -218,17 +221,19 @@ func (o *RunObserver) worker(rank int) *workerHistory {
 	return h
 }
 
-// Depths records the foreman's queue/busy/ready sizes after a scheduling
-// step; the foreman calls it wherever those sets change.
-func (o *RunObserver) Depths(queue, busy, ready int) {
+// Depths records the foreman's queue/busy/ready/inflight sizes after a
+// scheduling step; the foreman calls it wherever those sets change. With
+// pipelining, inflight can exceed busy (several tasks per worker).
+func (o *RunObserver) Depths(queue, busy, ready, inflight int) {
 	if o == nil {
 		return
 	}
 	o.gQueue.Set(float64(queue))
 	o.gBusy.Set(float64(busy))
 	o.gReady.Set(float64(ready))
+	o.gInflight.Set(float64(inflight))
 	o.mu.Lock()
-	o.snap.QueueDepth, o.snap.Busy, o.snap.Ready = queue, busy, ready
+	o.snap.QueueDepth, o.snap.Busy, o.snap.Ready, o.snap.Inflight = queue, busy, ready, inflight
 	o.mu.Unlock()
 }
 
@@ -447,6 +452,8 @@ type WorkerSnapshot struct {
 	CacheHits   uint64    `json:"cache_hits"`
 	CacheMisses uint64    `json:"cache_misses"`
 	NewtonIters uint64    `json:"newton_iters"`
+	Threads     int       `json:"threads,omitempty"`
+	ShardDisp   uint64    `json:"shard_dispatches,omitempty"`
 	LastTask    string    `json:"last_task,omitempty"`
 }
 
@@ -463,6 +470,8 @@ type WorkerObserver struct {
 	mOps        *obs.Counter
 	mNewton     *obs.Counter
 	mReconnects *obs.Counter
+	gThreads    *obs.Gauge
+	gShardDisp  *obs.Gauge
 
 	mu      sync.Mutex
 	started time.Time
@@ -481,6 +490,8 @@ func NewWorkerObserver(reg *obs.Registry) *WorkerObserver {
 		mOps:        reg.Counter("fdml_engine_ops_total", "Likelihood kernel work units."),
 		mNewton:     reg.Counter("fdml_engine_newton_iters_total", "Newton-Raphson iterations."),
 		mReconnects: reg.Counter("fdml_worker_reconnects_total", "Reconnections to the master."),
+		gThreads:    reg.Gauge("fdml_worker_threads", "Likelihood kernel threads on this worker."),
+		gShardDisp:  reg.Gauge("fdml_engine_shard_dispatches", "Cumulative threaded kernel dispatches."),
 		started:     time.Now(),
 	}
 	o.snap.Started = o.started
@@ -521,6 +532,21 @@ func (o *WorkerObserver) Served(res Result) {
 	o.snap.CacheMisses += res.CacheMisses
 	o.snap.NewtonIters += res.NewtonIters
 	o.snap.LastTask = res.Trace.String()
+	o.mu.Unlock()
+}
+
+// Engine records the worker engine's threading state: the kernel thread
+// count and the cumulative threaded shard dispatches (0 while the engine
+// runs serial).
+func (o *WorkerObserver) Engine(threads int, shardDispatches uint64) {
+	if o == nil {
+		return
+	}
+	o.gThreads.Set(float64(threads))
+	o.gShardDisp.Set(float64(shardDispatches))
+	o.mu.Lock()
+	o.snap.Threads = threads
+	o.snap.ShardDisp = shardDispatches
 	o.mu.Unlock()
 }
 

@@ -259,7 +259,7 @@ func TestRunObserverNilIsInert(t *testing.T) {
 	o.Left(1)
 	o.Inline(1, 1, -1)
 	o.RoundDone(1, 0, -1)
-	o.Depths(0, 0, 0)
+	o.Depths(0, 0, 0, 0)
 	if o.Bus() != nil || o.Registry() != nil || o.Spans() != nil {
 		t.Error("nil observer accessors must return nil")
 	}

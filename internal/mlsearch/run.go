@@ -237,6 +237,9 @@ func runLocalTransport(cfg Config, opt RunOptions) (*RunOutcome, error) {
 			if opt.WorkerHooks != nil {
 				hooks = opt.WorkerHooks[rank]
 			}
+			if hooks.Threads == 0 {
+				hooks.Threads = norm.Threads
+			}
 			if err := RunWorker(world[rank], lay, norm.Model, norm.Patterns, norm.Taxa, hooks); err != nil {
 				errs <- fmt.Errorf("worker %d: %w", rank, err)
 			}
@@ -276,6 +279,9 @@ func newInlineEvaluator(norm Config) (*Evaluator, error) {
 	eng, err := likelihood.New(norm.Model, norm.Patterns)
 	if err != nil {
 		return nil, err
+	}
+	if norm.Threads > 1 {
+		eng.SetThreads(norm.Threads)
 	}
 	return NewEvaluator(eng, norm.Taxa), nil
 }

@@ -22,6 +22,9 @@ func NewSerialDispatcher(cfg Config) (*SerialDispatcher, error) {
 	if err != nil {
 		return nil, err
 	}
+	if norm.Threads > 1 {
+		eng.SetThreads(norm.Threads)
+	}
 	return &SerialDispatcher{ev: NewEvaluator(eng, norm.Taxa)}, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/comm"
 	"repro/internal/obs"
 )
 
@@ -249,9 +250,11 @@ const (
 	extResultNewtonIters
 )
 
-// MarshalTask encodes a Task for the wire.
+// MarshalTask encodes a Task for the wire. The returned buffer comes
+// from the comm buffer pool: once it has been handed to Send (which
+// copies or takes ownership), the caller may comm.PutBuf it.
 func MarshalTask(t Task) []byte {
-	var w wireWriter
+	w := wireWriter{buf: comm.GetBuf(96 + len(t.Newick) + len(t.BaseNewick))[:0]}
 	w.u64(t.ID)
 	w.u64(t.Round)
 	w.str(t.Newick)
@@ -301,9 +304,10 @@ func UnmarshalTask(b []byte) (Task, error) {
 	return t, err
 }
 
-// MarshalResult encodes a Result for the wire.
+// MarshalResult encodes a Result for the wire. Like MarshalTask, the
+// buffer is pool-backed and may be comm.PutBuf'd after Send.
 func MarshalResult(res Result) []byte {
-	var w wireWriter
+	w := wireWriter{buf: comm.GetBuf(128 + len(res.Newick))[:0]}
 	w.u64(res.TaskID)
 	w.u64(res.Round)
 	w.str(res.Newick)

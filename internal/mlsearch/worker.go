@@ -30,6 +30,10 @@ type WorkerHooks struct {
 	// instrumentation: tasks served, evaluation latency, engine cache and
 	// kernel counters, reconnects.
 	Obs *WorkerObserver
+	// Threads is the likelihood engine's kernel thread count (values < 2
+	// keep the engine single-threaded). Sharding is deterministic: a
+	// threaded worker returns bit-identical results to a serial one.
+	Threads int
 }
 
 // RunWorker executes the worker loop: receive a task from the foreman,
@@ -39,6 +43,10 @@ func RunWorker(c comm.Communicator, lay Layout, m model.Model, pat *seq.Patterns
 	if err != nil {
 		return err
 	}
+	if hooks.Threads > 1 {
+		eng.SetThreads(hooks.Threads)
+	}
+	defer eng.Close()
 	ev := NewEvaluator(eng, taxa)
 	hooks.Obs.Attached(c.Rank())
 	for {
@@ -58,16 +66,21 @@ func RunWorker(c comm.Communicator, lay Layout, m model.Model, pat *seq.Patterns
 			if err != nil {
 				return err
 			}
+			comm.PutBuf(msg.Data) // decoded (strings copied); recycle
 			res, err := ev.Evaluate(task)
 			if err != nil {
 				return fmt.Errorf("mlsearch: worker %d: %w", c.Rank(), err)
 			}
 			res.Worker = int32(c.Rank())
 			hooks.Obs.Served(res)
+			hooks.Obs.Engine(eng.Threads(), eng.Snapshot().ShardDispatches)
 			if hooks.BeforeReply != nil && !hooks.BeforeReply(task, res) {
 				continue
 			}
-			if err := c.Send(lay.Foreman, comm.TagResult, MarshalResult(res)); err != nil {
+			buf := MarshalResult(res)
+			err = c.Send(lay.Foreman, comm.TagResult, buf)
+			comm.PutBuf(buf)
+			if err != nil {
 				return fmt.Errorf("mlsearch: worker %d send: %w", c.Rank(), err)
 			}
 		default:

@@ -240,6 +240,31 @@ func (t *Tree) Edges() []Edge {
 	return out
 }
 
+// FirstEdge returns the edge Edges() would list first — the edge
+// minimizing (A.ID, B.ID) — without building and sorting the full list,
+// so hot evaluation paths can pick their root edge allocation-free.
+func (t *Tree) FirstEdge() (Edge, bool) {
+	// Nodes is indexed by ID, so the scan runs in ascending ID order. The
+	// first live node with a higher-ID neighbor owns the minimal A.ID (an
+	// earlier node would have contributed no edge as the smaller
+	// endpoint), and its smallest higher-ID neighbor is the minimal B.
+	for _, n := range t.Nodes {
+		if n == nil {
+			continue
+		}
+		var best *Node
+		for _, m := range n.Nbr {
+			if m.ID > n.ID && (best == nil || m.ID < best.ID) {
+				best = m
+			}
+		}
+		if best != nil {
+			return Edge{n, best}, true
+		}
+	}
+	return Edge{}, false
+}
+
 // InternalEdges returns the edges whose both endpoints are internal nodes.
 func (t *Tree) InternalEdges() []Edge {
 	var out []Edge
