@@ -38,7 +38,8 @@ bench:
 	$(GO) test -run XXX -bench Codec -benchmem ./internal/mlsearch/
 	FDML_BENCH_DIR=bench $(GO) test -count=1 -run TestKernelBenchJSON -v ./internal/likelihood/
 
-# The elastic-membership chaos soak under the race detector, archiving
-# its BENCH_*.json report into bench/ (CI uploads it as an artifact).
+# The chaos soaks under the race detector: elastic membership, plus
+# concurrent jumbles multiplexed over a churning fleet. The membership
+# soak's BENCH_*.json report lands in bench/ (CI uploads it).
 chaos-soak:
-	FDML_BENCH_DIR=bench $(GO) test -race -count=1 -run TestTCPChaosSoak ./internal/mlsearch/
+	FDML_BENCH_DIR=bench $(GO) test -race -count=1 -run 'TestTCPChaosSoak|TestConcurrentTCPChaosSoak' ./internal/mlsearch/

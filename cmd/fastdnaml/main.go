@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -30,6 +31,7 @@ func main() {
 	var (
 		inPath      = flag.String("in", "", "PHYLIP alignment (required)")
 		jumbles     = flag.Int("jumbles", 1, "number of random taxon orderings to analyze")
+		concJumbles = flag.Int("concurrent-jumbles", 0, "jumbles (or bootstrap replicates) run concurrently over the shared worker fleet (0 = min(jumbles, workers); results identical at any setting)")
 		seed        = flag.Int64("seed", 1, "random seed (even seeds are adjusted, as in fastDNAml)")
 		extent      = flag.Int("extent", 1, "vertices crossed in local rearrangements (paper tests: 5)")
 		finalExtent = flag.Int("final-extent", 0, "vertices crossed in the final pass (0 = same as -extent)")
@@ -64,7 +66,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*inPath, options{
-		jumbles: *jumbles, seed: *seed, extent: *extent, finalExtent: *finalExtent,
+		jumbles: *jumbles, concJumbles: *concJumbles, seed: *seed, extent: *extent, finalExtent: *finalExtent,
 		ttratio: *ttratio, workers: *workers, threads: *threads, pipeline: *pipeline, monitor: *monitor,
 		ratesPath: *ratesPath, weightsPath: *weightsPath,
 		outPrefix: *outPrefix, progressOut: *progressOut,
@@ -81,6 +83,7 @@ func main() {
 
 type options struct {
 	jumbles, extent, finalExtent, workers, netWorkers int
+	concJumbles                                       int
 	threads, pipeline                                 int
 	seed                                              int64
 	taskTimeout                                       time.Duration
@@ -132,7 +135,12 @@ func run(inPath string, o options) error {
 		}
 		defer progressFile.Close()
 	}
+	// Concurrent jumbles report progress from several goroutines; the
+	// mutex keeps the file writes and console lines whole.
+	var progressMu sync.Mutex
 	progress := func(j int, e mlsearch.ProgressEvent) {
+		progressMu.Lock()
+		defer progressMu.Unlock()
 		if progressFile != nil {
 			fmt.Fprintln(progressFile, e.BestNewick)
 		}
@@ -146,23 +154,24 @@ func run(inPath string, o options) error {
 		return err
 	}
 	opt := core.Options{
-		ModelName:       o.modelName,
-		TTRatio:         o.ttratio,
-		Kappa:           o.kappa,
-		GTRRates:        gtr,
-		Jumbles:         o.jumbles,
-		Seed:            o.seed,
-		RearrangeExtent: o.extent,
-		FinalExtent:     o.finalExtent,
-		AdaptiveExtent:  o.adaptive,
-		Workers:         o.workers,
-		Threads:         o.threads,
-		Pipeline:        o.pipeline,
-		WithMonitor:     o.monitor,
-		MonitorOut:      obs.NewLockedWriter(os.Stderr),
-		SiteRates:       rates,
-		Weights:         weights,
-		Progress:        progress,
+		ModelName:            o.modelName,
+		TTRatio:              o.ttratio,
+		Kappa:                o.kappa,
+		GTRRates:             gtr,
+		Jumbles:              o.jumbles,
+		MaxConcurrentJumbles: o.concJumbles,
+		Seed:                 o.seed,
+		RearrangeExtent:      o.extent,
+		FinalExtent:          o.finalExtent,
+		AdaptiveExtent:       o.adaptive,
+		Workers:              o.workers,
+		Threads:              o.threads,
+		Pipeline:             o.pipeline,
+		WithMonitor:          o.monitor,
+		MonitorOut:           obs.NewLockedWriter(os.Stderr),
+		SiteRates:            rates,
+		Weights:              weights,
+		Progress:             progress,
 	}
 
 	o.start = time.Now()
@@ -301,39 +310,87 @@ func sortedSupports(m map[string]float64) []float64 {
 	return out
 }
 
-// runCheckpointed runs one serial jumble, writing a restart file after
-// each addition, or resumes from one.
+// runCheckpointed runs a checkpointed search (any number of jumbles),
+// writing a restart file after each completed addition, or resumes from
+// one. Single-jumble runs write the flat checkpoint format; multi-jumble
+// runs write a manifest with one block per jumble. Serial by default,
+// parallel with -workers.
 func runCheckpointed(a *seq.Alignment, opt core.Options, o options) error {
-	cfg, _, err := core.Prepare(a, opt)
+	cfg, opt, err := core.Prepare(a, opt)
 	if err != nil {
 		return err
 	}
-	runOpt := mlsearch.RunOptions{Transport: mlsearch.Serial}
-	if o.checkpoint != "" {
-		runOpt.OnCheckpoint = func(_ int, cp mlsearch.Checkpoint) { writeCheckpointFile(o.checkpoint, cp) }
+	runOpt := mlsearch.RunOptions{
+		Transport:            mlsearch.Serial,
+		Jumbles:              o.jumbles,
+		MaxConcurrentJumbles: o.concJumbles,
+		Progress:             opt.Progress,
+		Obs:                  opt.Obs,
 	}
-	if o.resume != "" {
-		cp, err := readCheckpointFile(o.resume)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("resuming: phase %s, %d of %d taxa in tree\n", cp.Phase, cp.NextIndex, len(cp.Order))
-		runOpt.Resume = &cp
+	if o.workers > 0 {
+		runOpt.Transport = mlsearch.Local
+		runOpt.Workers = o.workers
+		runOpt.WithMonitor = o.monitor
+		runOpt.MonitorOut = opt.MonitorOut
+		runOpt.Foreman = mlsearch.ForemanOptions{Pipeline: o.pipeline}
+	}
+	if err := wireRestart(&runOpt, o); err != nil {
+		return err
 	}
 	out, err := mlsearch.Run(cfg, runOpt)
 	if err != nil {
 		return err
 	}
-	res := out.Results[0]
-	tr, err := tree.ParseNewick(res.BestNewick, cfg.Taxa)
+	inf, err := inferenceFromResults(a, cfg.Taxa, out, opt)
 	if err != nil {
 		return err
 	}
-	inf := &core.Inference{
-		Jumbles: []core.JumbleResult{{Seed: cfg.Seed, Tree: tr, Newick: res.BestNewick, LnL: res.LnL, Search: res}},
-	}
-	inf.Best = &inf.Jumbles[0]
 	return report(inf, a, o)
+}
+
+// wireRestart wires -resume and -checkpoint into runOpt, sniffing the
+// restart file's format: a flat checkpoint resumes one jumble, a
+// manifest resumes a multi-jumble run (adopting the manifest's jumble
+// count when -jumbles was left at its default).
+func wireRestart(runOpt *mlsearch.RunOptions, o options) error {
+	var prior *mlsearch.Manifest
+	if o.resume != "" {
+		cp, m, err := mlsearch.LoadResume(o.resume)
+		if err != nil {
+			return err
+		}
+		if m != nil {
+			if runOpt.Jumbles > 1 && runOpt.Jumbles != m.Jumbles {
+				return fmt.Errorf("-jumbles %d does not match the manifest's %d jumbles", runOpt.Jumbles, m.Jumbles)
+			}
+			runOpt.Jumbles = m.Jumbles
+			runOpt.ResumeManifest = m
+			prior = m
+			done := 0
+			for j := 0; j < m.Jumbles; j++ {
+				if cp, ok := m.Checkpoint(j); ok && cp.Phase == mlsearch.PhaseDone {
+					done++
+				}
+			}
+			fmt.Printf("resuming manifest: %d of %d jumbles done\n", done, m.Jumbles)
+		} else {
+			fmt.Printf("resuming: phase %s, %d of %d taxa in tree\n", cp.Phase, cp.NextIndex, len(cp.Order))
+			runOpt.Resume = cp
+		}
+	}
+	if o.checkpoint != "" {
+		if runOpt.Jumbles > 1 {
+			rec := mlsearch.NewManifestRecorder(o.checkpoint, runOpt.Jumbles, prior)
+			runOpt.OnCheckpoint = func(_ int, cp mlsearch.Checkpoint) {
+				if err := rec.Record(cp); err != nil {
+					fmt.Fprintln(os.Stderr, "fastdnaml: checkpoint:", err)
+				}
+			}
+		} else {
+			runOpt.OnCheckpoint = func(_ int, cp mlsearch.Checkpoint) { writeCheckpointFile(o.checkpoint, cp) }
+		}
+	}
+	return nil
 }
 
 // runDistributed hosts the elastic TCP master; workers join at any time
@@ -351,14 +408,15 @@ func runDistributed(a *seq.Alignment, opt core.Options, o options) error {
 		return err
 	}
 	runOpt := mlsearch.RunOptions{
-		Transport:   mlsearch.TCP,
-		Addr:        o.listen,
-		Workers:     o.netWorkers,
-		WithMonitor: o.monitor,
-		Jumbles:     o.jumbles,
-		MonitorOut:  obs.NewLockedWriter(os.Stderr),
-		Foreman:     mlsearch.ForemanOptions{TaskTimeout: o.taskTimeout, Pipeline: o.pipeline},
-		Obs:         opt.Obs,
+		Transport:            mlsearch.TCP,
+		Addr:                 o.listen,
+		Workers:              o.netWorkers,
+		WithMonitor:          o.monitor,
+		Jumbles:              o.jumbles,
+		MaxConcurrentJumbles: o.concJumbles,
+		MonitorOut:           obs.NewLockedWriter(os.Stderr),
+		Foreman:              mlsearch.ForemanOptions{TaskTimeout: o.taskTimeout, Pipeline: o.pipeline},
+		Obs:                  opt.Obs,
 		Bundle: mlsearch.DataBundle{
 			PhylipText: []byte(phylip.String()),
 			TTRatio:    opt.TTRatio,
@@ -384,16 +442,8 @@ func runDistributed(a *seq.Alignment, opt core.Options, o options) error {
 			}
 		},
 	}
-	if o.checkpoint != "" {
-		runOpt.OnCheckpoint = func(_ int, cp mlsearch.Checkpoint) { writeCheckpointFile(o.checkpoint, cp) }
-	}
-	if o.resume != "" {
-		cp, err := readCheckpointFile(o.resume)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("resuming: phase %s, %d of %d taxa in tree\n", cp.Phase, cp.NextIndex, len(cp.Order))
-		runOpt.Resume = &cp
+	if err := wireRestart(&runOpt, o); err != nil {
+		return err
 	}
 	out, err := mlsearch.Run(cfg, runOpt)
 	if err != nil {
@@ -421,26 +471,17 @@ func writeCheckpointFile(path string, cp mlsearch.Checkpoint) {
 	f.Close()
 }
 
-// readCheckpointFile loads a restart file.
-func readCheckpointFile(path string) (mlsearch.Checkpoint, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return mlsearch.Checkpoint{}, err
-	}
-	defer f.Close()
-	return mlsearch.ReadCheckpoint(f)
-}
-
 func inferenceFromResults(a *seq.Alignment, taxa []string, out *mlsearch.RunOutcome, opt core.Options) (*core.Inference, error) {
 	inf := &core.Inference{Monitor: out.Monitor}
-	seed := mlsearch.NormalizeSeed(opt.Seed)
-	for j, res := range out.Results {
+	for _, res := range out.Results {
 		tr, err := tree.ParseNewick(res.BestNewick, taxa)
 		if err != nil {
 			return nil, err
 		}
 		inf.Jumbles = append(inf.Jumbles, core.JumbleResult{
-			Seed: seed + int64(2*j), Tree: tr, Newick: res.BestNewick, LnL: res.LnL, Search: res,
+			// The search carries the seed it ran with; re-deriving it
+			// from the slice index mislabels resumed runs.
+			Seed: res.Seed, Tree: tr, Newick: res.BestNewick, LnL: res.LnL, Search: res,
 		})
 	}
 	best := &inf.Jumbles[0]

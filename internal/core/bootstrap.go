@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/mlsearch"
 	"repro/internal/seq"
@@ -42,9 +43,12 @@ func Bootstrap(a *seq.Alignment, opt Options, replicates int) (*BootstrapResult,
 	nsites := a.NumSites()
 	rng := rand.New(rand.NewSource(mlsearch.NormalizeSeed(opt.Seed)))
 
-	out := &BootstrapResult{}
+	// All replicate resamples are drawn up front from the one shared rng,
+	// so the weights (and therefore every replicate's result) do not
+	// depend on how many replicates later run concurrently.
 	seed := mlsearch.NormalizeSeed(opt.Seed)
-	for rep := 0; rep < replicates; rep++ {
+	opts := make([]Options, replicates)
+	for rep := range opts {
 		// Multinomial column resample as integer weights.
 		weights := make([]float64, nsites)
 		for i := 0; i < nsites; i++ {
@@ -58,13 +62,46 @@ func Bootstrap(a *seq.Alignment, opt Options, replicates int) (*BootstrapResult,
 			idx := rep
 			ropt.Progress = func(_ int, e mlsearch.ProgressEvent) { opt.Progress(idx, e) }
 		}
-		inf, err := Infer(a, ropt)
+		opts[rep] = ropt
+	}
+
+	// Replicates are independent inferences, so MaxConcurrentJumbles
+	// bounds them directly (default 1: sequential, the historical
+	// behavior). Each replicate still parallelizes internally per
+	// Workers.
+	conc := opt.MaxConcurrentJumbles
+	if conc < 1 {
+		conc = 1
+	}
+	if conc > replicates {
+		conc = replicates
+	}
+	trees := make([]*tree.Tree, replicates)
+	lnls := make([]float64, replicates)
+	errs := make([]error, replicates)
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	for rep := range opts {
+		wg.Add(1)
+		go func(rep int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			inf, err := Infer(a, opts[rep])
+			if err != nil {
+				errs[rep] = err
+				return
+			}
+			trees[rep], lnls[rep] = inf.Best.Tree, inf.Best.LnL
+		}(rep)
+	}
+	wg.Wait()
+	for rep, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: bootstrap replicate %d: %w", rep+1, err)
 		}
-		out.Trees = append(out.Trees, inf.Best.Tree)
-		out.LnLs = append(out.LnLs, inf.Best.LnL)
 	}
+	out := &BootstrapResult{Trees: trees, LnLs: lnls}
 
 	cons, err := tree.MajorityRule(out.Trees, opt.ConsensusThreshold)
 	if err != nil {

@@ -40,6 +40,11 @@ type Options struct {
 	// Seed drives the orderings; even seeds are adjusted as in
 	// fastDNAml (§2.1).
 	Seed int64
+	// MaxConcurrentJumbles bounds how many jumbles (or bootstrap
+	// replicates) run concurrently over the shared worker fleet. 0
+	// defaults to min(Jumbles, Workers) in parallel runs; results are
+	// identical at any setting.
+	MaxConcurrentJumbles int
 	// RearrangeExtent is the number of vertices crossed in the local
 	// rearrangements after each taxon addition (default 1; the paper's
 	// performance tests use 5).
@@ -202,14 +207,15 @@ func Infer(a *seq.Alignment, opt Options) (*Inference, error) {
 		transport = mlsearch.Local
 	}
 	out, err := mlsearch.Run(cfg, mlsearch.RunOptions{
-		Transport:   transport,
-		Workers:     opt.Workers,
-		WithMonitor: opt.WithMonitor,
-		MonitorOut:  opt.MonitorOut,
-		Jumbles:     opt.Jumbles,
-		Progress:    opt.Progress,
-		Obs:         opt.Obs,
-		Foreman:     mlsearch.ForemanOptions{Pipeline: opt.Pipeline},
+		Transport:            transport,
+		Workers:              opt.Workers,
+		WithMonitor:          opt.WithMonitor,
+		MonitorOut:           opt.MonitorOut,
+		Jumbles:              opt.Jumbles,
+		MaxConcurrentJumbles: opt.MaxConcurrentJumbles,
+		Progress:             opt.Progress,
+		Obs:                  opt.Obs,
+		Foreman:              mlsearch.ForemanOptions{Pipeline: opt.Pipeline},
 	})
 	if err != nil {
 		return nil, err
@@ -217,14 +223,15 @@ func Infer(a *seq.Alignment, opt Options) (*Inference, error) {
 	results := out.Results
 	inf.Monitor = out.Monitor
 
-	seed := mlsearch.NormalizeSeed(cfg.Seed)
 	for j, res := range results {
 		tr, err := tree.ParseNewick(res.BestNewick, cfg.Taxa)
 		if err != nil {
 			return nil, fmt.Errorf("core: jumble %d result: %w", j, err)
 		}
 		inf.Jumbles = append(inf.Jumbles, JumbleResult{
-			Seed:   seed + int64(2*j),
+			// The search reports the seed it actually ran with; deriving
+			// it from j here would mislabel resumed runs.
+			Seed:   res.Seed,
 			Tree:   tr,
 			Newick: res.BestNewick,
 			LnL:    res.LnL,

@@ -90,6 +90,15 @@ func (cp Checkpoint) Validate(numTaxa int) error {
 func WriteCheckpoint(w io.Writer, cp Checkpoint) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "fastdnaml-checkpoint v1")
+	if err := writeCheckpointBody(bw, cp); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeCheckpointBody writes the key-value lines shared by the
+// standalone checkpoint file and the manifest's per-jumble blocks.
+func writeCheckpointBody(bw *bufio.Writer, cp Checkpoint) error {
 	fmt.Fprintf(bw, "seed %d\n", cp.Seed)
 	fmt.Fprintf(bw, "jumble %d\n", cp.Jumble)
 	fmt.Fprintf(bw, "phase %s\n", cp.Phase)
@@ -100,60 +109,99 @@ func WriteCheckpoint(w io.Writer, cp Checkpoint) error {
 	}
 	fmt.Fprintf(bw, "order %s\n", strings.Join(parts, ","))
 	fmt.Fprintf(bw, "lnl %s\n", strconv.FormatFloat(cp.LnL, 'g', 17, 64))
-	fmt.Fprintf(bw, "tree %s\n", cp.Newick)
-	return bw.Flush()
+	_, err := fmt.Fprintf(bw, "tree %s\n", cp.Newick)
+	return err
 }
 
-// ReadCheckpoint parses a checkpoint file.
+// checkpointKeys are the required keys, in written order. A file missing
+// any of them (truncated write, manual edit) is rejected at parse time
+// rather than resumed from a half-parsed position.
+var checkpointKeys = []string{"seed", "jumble", "phase", "next", "order", "lnl", "tree"}
+
+// checkpointParser accumulates key-value lines into a Checkpoint. It is
+// strict: duplicate keys fail immediately (last-write-wins would silently
+// mask a corrupted file) and finish() names any missing required key.
+// The manifest reader shares it for the per-jumble blocks.
+type checkpointParser struct {
+	cp   Checkpoint
+	seen map[string]bool
+}
+
+func newCheckpointParser() *checkpointParser {
+	return &checkpointParser{seen: map[string]bool{}}
+}
+
+func (p *checkpointParser) line(line string) error {
+	key, val, ok := strings.Cut(line, " ")
+	if !ok {
+		return fmt.Errorf("mlsearch: bad checkpoint line %q", line)
+	}
+	if p.seen[key] {
+		return fmt.Errorf("mlsearch: duplicate checkpoint key %q", key)
+	}
+	var err error
+	switch key {
+	case "seed":
+		p.cp.Seed, err = strconv.ParseInt(val, 10, 64)
+	case "jumble":
+		p.cp.Jumble, err = strconv.Atoi(val)
+	case "phase":
+		p.cp.Phase = val
+	case "next":
+		p.cp.NextIndex, err = strconv.Atoi(val)
+	case "order":
+		for _, f := range strings.Split(val, ",") {
+			v, cerr := strconv.Atoi(strings.TrimSpace(f))
+			if cerr != nil {
+				return fmt.Errorf("mlsearch: bad checkpoint order: %w", cerr)
+			}
+			p.cp.Order = append(p.cp.Order, v)
+		}
+	case "tree":
+		p.cp.Newick = val
+	case "lnl":
+		p.cp.LnL, err = strconv.ParseFloat(val, 64)
+	default:
+		return fmt.Errorf("mlsearch: unknown checkpoint key %q", key)
+	}
+	if err != nil {
+		return fmt.Errorf("mlsearch: bad checkpoint %s: %w", key, err)
+	}
+	p.seen[key] = true
+	return nil
+}
+
+func (p *checkpointParser) finish() (Checkpoint, error) {
+	for _, key := range checkpointKeys {
+		if !p.seen[key] {
+			return p.cp, fmt.Errorf("mlsearch: checkpoint missing required key %q", key)
+		}
+	}
+	return p.cp, nil
+}
+
+// ReadCheckpoint parses a checkpoint file. It rejects duplicate and
+// missing keys, naming the offending key.
 func ReadCheckpoint(r io.Reader) (Checkpoint, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	var cp Checkpoint
 	if !sc.Scan() || strings.TrimSpace(sc.Text()) != "fastdnaml-checkpoint v1" {
-		return cp, fmt.Errorf("mlsearch: not a fastdnaml checkpoint")
+		return Checkpoint{}, fmt.Errorf("mlsearch: not a fastdnaml checkpoint")
 	}
+	p := newCheckpointParser()
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
-		key, val, ok := strings.Cut(line, " ")
-		if !ok {
-			return cp, fmt.Errorf("mlsearch: bad checkpoint line %q", line)
-		}
-		var err error
-		switch key {
-		case "seed":
-			cp.Seed, err = strconv.ParseInt(val, 10, 64)
-		case "jumble":
-			cp.Jumble, err = strconv.Atoi(val)
-		case "phase":
-			cp.Phase = val
-		case "next":
-			cp.NextIndex, err = strconv.Atoi(val)
-		case "order":
-			for _, f := range strings.Split(val, ",") {
-				v, cerr := strconv.Atoi(strings.TrimSpace(f))
-				if cerr != nil {
-					return cp, fmt.Errorf("mlsearch: bad checkpoint order: %w", cerr)
-				}
-				cp.Order = append(cp.Order, v)
-			}
-		case "lnl":
-			cp.LnL, err = strconv.ParseFloat(val, 64)
-		case "tree":
-			cp.Newick = val
-		default:
-			return cp, fmt.Errorf("mlsearch: unknown checkpoint key %q", key)
-		}
-		if err != nil {
-			return cp, fmt.Errorf("mlsearch: bad checkpoint %s: %w", key, err)
+		if err := p.line(line); err != nil {
+			return p.cp, err
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return cp, err
+		return p.cp, err
 	}
-	return cp, nil
+	return p.finish()
 }
 
 // Resume continues a search from a checkpoint. The configuration must
@@ -187,6 +235,7 @@ func (s *Search) Resume(cp Checkpoint) (*SearchResult, error) {
 			BestNewick: tr.Newick(),
 			LnL:        cp.LnL,
 			Order:      cp.Order,
+			Seed:       cp.Seed,
 		}, nil
 	}
 	return s.run(cp.Order, tr, cp.LnL, cp.NextIndex, cp.Phase == PhaseFinal)

@@ -84,6 +84,7 @@ func (ev *Evaluator) Evaluate(t Task) (Result, error) {
 		NewtonIters: statsAfter.NewtonIters - statsBefore.NewtonIters,
 		Eval:        time.Since(start),
 		Trace:       t.Trace,
+		Job:         t.Job,
 	}, nil
 }
 

@@ -16,6 +16,15 @@ import (
 // record of the tree dispatched to each worker and the time the tree was
 // dispatched (used to implement fault tolerance)."
 //
+// Beyond the paper, this foreman is a multi-job scheduler: several
+// searches (jumbles, bootstrap replicates) may have round batches open
+// at once, each identified by a job id. Every job keeps its own FIFO
+// work queue and round state; dispatch is fair across jobs (round-robin
+// by job, FIFO within a job), so one search's long round cannot starve
+// another's. Each job's round is still a barrier — its reply carries
+// exactly its own task set — which is what keeps per-job results
+// bit-identical to a sequential run at any concurrency.
+//
 // Membership is dynamic: besides the statically configured workers of a
 // local run, the transport may announce workers joining (TagJoin) or
 // leaving (TagLeave) at any time, including mid-round. New arrivals are
@@ -37,6 +46,11 @@ import (
 // evaluated a task itself because no live workers remained.
 const InlineWorker int32 = -1
 
+// minForemanTick floors the deadline-scan interval: a Tick derived from
+// a tiny TaskTimeout (TaskTimeout/4 truncates to 0 below 4ns) would turn
+// the dispatch loop into a busy spin.
+const minForemanTick = time.Millisecond
+
 // ForemanOptions tune dispatch behaviour.
 type ForemanOptions struct {
 	// TaskTimeout is the paper's user-specified timeout parameter: a
@@ -49,7 +63,7 @@ type ForemanOptions struct {
 	// Tick bounds how long the foreman blocks between deadline scans
 	// while dispatched tasks have live deadlines; with no expirable
 	// deadline the foreman blocks indefinitely. Default 50ms, or
-	// TaskTimeout/4 if smaller.
+	// TaskTimeout/4 if smaller, floored at 1ms.
 	Tick time.Duration
 	// Inline, when non-nil, lets the foreman evaluate tasks itself when
 	// no live workers remain, so a round always completes (the runtime
@@ -80,6 +94,9 @@ func (o ForemanOptions) withDefaults() ForemanOptions {
 			o.Tick = o.TaskTimeout / 4
 		}
 	}
+	if o.Tick < minForemanTick {
+		o.Tick = minForemanTick
+	}
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = time.Second
 	}
@@ -87,6 +104,21 @@ func (o ForemanOptions) withDefaults() ForemanOptions {
 		o.Pipeline = 2
 	}
 	return o
+}
+
+// jobState is one job's open round batch: its FIFO work queue, task set,
+// and accumulated results. It exists from the batch's arrival until the
+// round reply is sent.
+type jobState struct {
+	id      uint64
+	round   uint64
+	queue   []Task
+	byID    map[uint64]Task
+	results map[uint64]Result
+	// enq tracks when each task entered the work queue, for the
+	// queue-wait phase of its trace span. Only maintained when an
+	// observer is attached.
+	enq map[uint64]time.Time
 }
 
 // foreman carries state across the whole run.
@@ -112,15 +144,12 @@ type foreman struct {
 	// connected, eligible for reinstatement).
 	dead map[int]bool
 
-	// Per-round state.
-	queue   []Task
-	byID    map[uint64]Task
-	results map[uint64]Result
-	round   uint64
-	// enq tracks when each task entered the work queue, for the queue-wait
-	// phase of its trace span. Only maintained when an observer is
-	// attached.
-	enq map[uint64]time.Time
+	// jobs holds every open round batch, keyed by job id; order is the
+	// round-robin ring of the same ids in arrival order, and rrPos is
+	// the next ring slot to draw from.
+	jobs  map[uint64]*jobState
+	order []uint64
+	rrPos int
 }
 
 type dispatchRecord struct {
@@ -143,6 +172,7 @@ func RunForeman(c comm.Communicator, lay Layout, opt ForemanOptions) error {
 		members: map[int]bool{},
 		busy:    map[int][]dispatchRecord{},
 		dead:    map[int]bool{},
+		jobs:    map[uint64]*jobState{},
 	}
 	for _, w := range lay.Workers {
 		f.members[w] = true
@@ -150,41 +180,59 @@ func RunForeman(c comm.Communicator, lay Layout, opt ForemanOptions) error {
 	}
 
 	for {
-		msg, err := c.Recv(comm.AnySource, comm.AnyTag)
-		if err != nil {
+		if err := f.pump(); err != nil {
+			return err
+		}
+		if err := f.flush(); err != nil {
+			return err
+		}
+
+		// Block outright unless a dispatched task's deadline can expire;
+		// with fault tolerance off (TaskTimeout 0) or nothing in flight
+		// there is no reason to wake every tick.
+		var msg comm.Message
+		var err error
+		if f.opt.TaskTimeout > 0 && f.inflight > 0 {
+			msg, err = c.RecvTimeout(comm.AnySource, comm.AnyTag, f.opt.Tick)
+		} else {
+			msg, err = c.Recv(comm.AnySource, comm.AnyTag)
+		}
+		switch err {
+		case nil:
+			switch msg.Tag {
+			case comm.TagShutdown:
+				f.shutdown()
+				return nil
+			case comm.TagJoin:
+				f.handleJoin(msg.From)
+			case comm.TagLeave:
+				f.handleLeave(msg.From)
+			case comm.TagResult:
+				// A reply for an already-answered round still reinstates
+				// its sender.
+				if err := f.handleResult(msg); err != nil {
+					return err
+				}
+			case comm.TagControl:
+				if msg.From != lay.Master {
+					return fmt.Errorf("mlsearch: foreman got control from rank %d", msg.From)
+				}
+				batch, err := unmarshalRoundBatch(msg.Data)
+				if err != nil {
+					return err
+				}
+				if err := f.startJob(batch); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("mlsearch: foreman got unexpected tag %d", msg.Tag)
+			}
+		case comm.ErrTimeout:
+			// fall through to the deadline scan
+		default:
 			return fmt.Errorf("mlsearch: foreman receive: %w", err)
 		}
-		switch msg.Tag {
-		case comm.TagShutdown:
-			f.shutdown()
-			return nil
-		case comm.TagJoin:
-			f.handleJoin(msg.From)
-		case comm.TagLeave:
-			f.handleLeave(msg.From)
-		case comm.TagResult:
-			// A stale reply between rounds still reinstates its sender.
-			if err := f.handleResult(msg); err != nil {
-				return err
-			}
-		case comm.TagControl:
-			if msg.From != lay.Master {
-				return fmt.Errorf("mlsearch: foreman got control from rank %d", msg.From)
-			}
-			batch, err := unmarshalRoundBatch(msg.Data)
-			if err != nil {
-				return err
-			}
-			reply, err := f.runRound(batch)
-			if err != nil {
-				return err
-			}
-			if err := c.Send(lay.Master, comm.TagControl, marshalRoundReply(reply)); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("mlsearch: foreman got unexpected tag %d", msg.Tag)
-		}
+		f.expire()
 	}
 }
 
@@ -218,93 +266,152 @@ func (f *foreman) shutdown() {
 	}
 }
 
-// runRound dispatches a batch until every task completes.
-func (f *foreman) runRound(batch roundBatch) (roundReply, error) {
-	f.queue = append([]Task(nil), batch.Tasks...)
-	f.byID = map[uint64]Task{}
-	f.results = map[uint64]Result{}
-	f.round = batch.Round
+// startJob opens a round batch as a new scheduling job.
+func (f *foreman) startJob(batch roundBatch) error {
+	if _, dup := f.jobs[batch.Job]; dup {
+		return fmt.Errorf("mlsearch: job %d already has an open round at the foreman", batch.Job)
+	}
+	js := &jobState{
+		id:      batch.Job,
+		round:   batch.Round,
+		queue:   append([]Task(nil), batch.Tasks...),
+		byID:    map[uint64]Task{},
+		results: map[uint64]Result{},
+	}
 	for _, t := range batch.Tasks {
-		f.byID[t.ID] = t
+		js.byID[t.ID] = t
 	}
 	if f.opt.Obs != nil {
-		f.enq = make(map[uint64]time.Time, len(batch.Tasks))
+		js.enq = make(map[uint64]time.Time, len(batch.Tasks))
 		now := time.Now()
 		for _, t := range batch.Tasks {
-			f.enq[t.ID] = now
+			js.enq[t.ID] = now
 		}
 	}
-	f.event(monRoundStart, 0, batch.Round, fmt.Sprintf("tasks=%d", len(batch.Tasks)))
-	f.opt.Obs.RoundStart(batch.Round, len(batch.Tasks))
+	f.jobs[batch.Job] = js
+	f.order = append(f.order, batch.Job)
+	f.event(monRoundStart, 0, batch.Job, batch.Round, fmt.Sprintf("tasks=%d", len(batch.Tasks)))
+	f.opt.Obs.RoundStart(batch.Job, batch.Round, len(batch.Tasks))
 	f.depths()
+	return nil
+}
 
-	for len(f.results) < len(f.byID) {
+// pump advances scheduling as far as it can without blocking: assign
+// queued tasks to ready workers, and — the bottom rung of the
+// degradation ladder — evaluate inline when work is queued but no live
+// worker can take it.
+func (f *foreman) pump() error {
+	for {
 		f.assign()
-
-		// Degradation: with no live worker to wait for and work still
-		// queued, evaluate inline rather than stalling the round. A
-		// worker joining mid-round is folded in on its TagJoin.
-		if len(f.queue) > 0 && len(f.ready) == 0 && f.inflight == 0 && f.opt.Inline != nil {
+		if f.queuedTotal() > 0 && len(f.ready) == 0 && f.inflight == 0 && f.opt.Inline != nil {
 			if err := f.evalInline(); err != nil {
-				return roundReply{}, err
+				return err
 			}
 			continue
 		}
-
-		// Block outright unless a dispatched task's deadline can expire;
-		// with fault tolerance off (TaskTimeout 0) or nothing in flight
-		// there is no reason to wake every tick.
-		var msg comm.Message
-		var err error
-		if f.opt.TaskTimeout > 0 && f.inflight > 0 {
-			msg, err = f.c.RecvTimeout(comm.AnySource, comm.AnyTag, f.opt.Tick)
-		} else {
-			msg, err = f.c.Recv(comm.AnySource, comm.AnyTag)
-		}
-		switch err {
-		case nil:
-			switch msg.Tag {
-			case comm.TagResult:
-				if err := f.handleResult(msg); err != nil {
-					return roundReply{}, err
-				}
-			case comm.TagJoin:
-				f.handleJoin(msg.From)
-			case comm.TagLeave:
-				f.handleLeave(msg.From)
-			default:
-				return roundReply{}, fmt.Errorf("mlsearch: foreman got tag %d mid-round", msg.Tag)
-			}
-		case comm.ErrTimeout:
-			// fall through to the deadline scan
-		default:
-			return roundReply{}, fmt.Errorf("mlsearch: foreman round: %w", err)
-		}
-		f.expire()
+		return nil
 	}
+}
 
-	// Build the reply: stats sorted by task ID, best by (LnL, task ID).
+// flush answers every job whose round has completed, removing it from
+// the scheduler.
+func (f *foreman) flush() error {
+	for i := 0; i < len(f.order); {
+		js := f.jobs[f.order[i]]
+		if len(js.results) < len(js.byID) {
+			i++
+			continue
+		}
+		if err := f.finishJob(js); err != nil {
+			return err
+		}
+		// finishJob removed this ring slot; re-test index i.
+	}
+	return nil
+}
+
+// finishJob builds and sends a completed job's round reply: stats sorted
+// by task ID, best by (LnL, task ID), non-KeepTree Newicks stripped.
+func (f *foreman) finishJob(js *jobState) error {
 	var stats []Result
-	for _, r := range f.results {
+	for _, r := range js.results {
 		stats = append(stats, r)
 	}
 	sort.Slice(stats, func(i, j int) bool { return stats[i].TaskID < stats[j].TaskID })
-	best := bestOf(stats)
+	var best Result
+	if len(stats) > 0 {
+		best = bestOf(stats)
+	}
 	stripped := make([]Result, len(stats))
 	for i, r := range stats {
-		if !f.byID[r.TaskID].KeepTree {
+		if !js.byID[r.TaskID].KeepTree {
 			r.Newick = ""
 		}
 		stripped[i] = r
 	}
-	f.event(monRoundDone, 0, batch.Round, fmt.Sprintf("best=%.4f", best.LnL))
-	f.opt.Obs.RoundDone(batch.Round, len(f.members), best.LnL)
-	return roundReply{Round: batch.Round, Best: best, Stats: stripped}, nil
+	f.removeJob(js.id)
+	f.event(monRoundDone, 0, js.id, js.round, fmt.Sprintf("best=%.4f", best.LnL))
+	f.opt.Obs.RoundDone(js.id, js.round, len(f.members), best.LnL)
+	f.depths()
+	reply := roundReply{Round: js.round, Best: best, Stats: stripped, Job: js.id}
+	if err := f.c.Send(f.lay.Master, comm.TagControl, marshalRoundReply(reply)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// removeJob drops a job from the map and the round-robin ring.
+func (f *foreman) removeJob(id uint64) {
+	delete(f.jobs, id)
+	for i, j := range f.order {
+		if j == id {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	if len(f.order) > 0 {
+		f.rrPos %= len(f.order)
+	} else {
+		f.rrPos = 0
+	}
+}
+
+// queuedTotal sums the queued tasks across all jobs.
+func (f *foreman) queuedTotal() int {
+	n := 0
+	for _, js := range f.jobs {
+		n += len(js.queue)
+	}
+	return n
+}
+
+// nextTask draws the next dispatchable task fairly: round-robin across
+// jobs starting at the ring position, FIFO within a job. Tasks whose
+// requeued copy already finished elsewhere are discarded on the way.
+func (f *foreman) nextTask() (*jobState, Task, bool) {
+	n := len(f.order)
+	for i := 0; i < n; i++ {
+		idx := (f.rrPos + i) % n
+		js := f.jobs[f.order[idx]]
+		for len(js.queue) > 0 {
+			t := js.queue[0]
+			js.queue = js.queue[1:]
+			if _, done := js.results[t.ID]; done {
+				continue
+			}
+			f.rrPos = (idx + 1) % n
+			return js, t, true
+		}
+	}
+	return nil, Task{}, false
 }
 
 // depths reports the scheduler's queue sizes to the observer.
 func (f *foreman) depths() {
-	f.opt.Obs.Depths(len(f.queue), len(f.busy), len(f.ready), f.inflight)
+	if f.opt.Obs == nil {
+		return
+	}
+	f.opt.Obs.Depths(f.queuedTotal(), len(f.busy), len(f.ready), f.inflight, len(f.jobs))
 }
 
 // dropReady removes a worker from the ready queue if present.
@@ -318,8 +425,8 @@ func (f *foreman) dropReady(w int) {
 }
 
 // dropBusy removes all of a worker's in-flight records and requeues the
-// not-yet-completed tasks at the queue front (oldest first) so
-// re-dispatch happens before fresh work.
+// not-yet-completed tasks at the front of their own job's queue (oldest
+// first), so re-dispatch happens before fresh work.
 func (f *foreman) dropBusy(w int) (requeued int) {
 	recs, ok := f.busy[w]
 	if !ok {
@@ -327,25 +434,35 @@ func (f *foreman) dropBusy(w int) (requeued int) {
 	}
 	delete(f.busy, w)
 	f.inflight -= len(recs)
-	var undone []Task
+	undone := map[uint64][]Task{}
+	var touched []uint64
 	for _, rec := range recs {
-		if _, done := f.results[rec.task.ID]; !done {
-			undone = append(undone, rec.task)
+		js := f.jobs[rec.task.Job]
+		if js == nil {
+			continue // the job's round was already answered
 		}
+		if _, done := js.results[rec.task.ID]; done {
+			continue
+		}
+		if len(undone[rec.task.Job]) == 0 {
+			touched = append(touched, rec.task.Job)
+		}
+		undone[rec.task.Job] = append(undone[rec.task.Job], rec.task)
+		requeued++
 	}
-	if len(undone) > 0 {
-		f.queue = append(undone, f.queue...)
+	for _, j := range touched {
+		js := f.jobs[j]
+		js.queue = append(append([]Task(nil), undone[j]...), js.queue...)
 	}
-	return len(undone)
+	return requeued
 }
 
 // evalInline evaluates the next queued task in the foreman itself — the
 // bottom rung of the degradation ladder, keeping the run alive with an
 // empty worker set.
 func (f *foreman) evalInline() error {
-	t := f.queue[0]
-	f.queue = f.queue[1:]
-	if _, done := f.results[t.ID]; done {
+	js, t, ok := f.nextTask()
+	if !ok {
 		return nil
 	}
 	res, err := f.opt.Inline.Evaluate(t)
@@ -353,9 +470,9 @@ func (f *foreman) evalInline() error {
 		return fmt.Errorf("mlsearch: foreman inline: %w", err)
 	}
 	res.Worker = InlineWorker
-	f.results[t.ID] = res
-	f.event(monInline, int(InlineWorker), t.Round, fmt.Sprintf("task=%d lnl=%.4f", t.ID, res.LnL))
-	f.opt.Obs.Inline(t.Round, t.ID, res.LnL)
+	js.results[t.ID] = res
+	f.event(monInline, int(InlineWorker), t.Job, t.Round, fmt.Sprintf("task=%d lnl=%.4f", t.ID, res.LnL))
+	f.opt.Obs.Inline(t.Job, t.Round, t.ID, res.LnL)
 	f.depths()
 	return nil
 }
@@ -365,7 +482,7 @@ func (f *foreman) evalInline() error {
 func (f *foreman) handleJoin(w int) {
 	f.members[w] = true
 	f.pushReady(w)
-	f.event(monWorkerJoined, w, f.round, "")
+	f.event(monWorkerJoined, w, 0, 0, "")
 	f.opt.Obs.Joined(w)
 	f.depths()
 }
@@ -381,7 +498,7 @@ func (f *foreman) handleLeave(w int) {
 	if n := f.dropBusy(w); n > 0 {
 		info = fmt.Sprintf("tasks=%d requeued", n)
 	}
-	f.event(monWorkerLeft, w, f.round, info)
+	f.event(monWorkerLeft, w, 0, 0, info)
 	f.opt.Obs.Left(w)
 	f.depths()
 }
@@ -408,11 +525,10 @@ func (f *foreman) pushReady(w int) {
 // ready worker receives its first task before any worker receives a
 // second.
 func (f *foreman) assign() {
-	for len(f.queue) > 0 && len(f.ready) > 0 {
-		t := f.queue[0]
-		f.queue = f.queue[1:]
-		if _, done := f.results[t.ID]; done {
-			continue // a requeued copy already finished elsewhere
+	for len(f.ready) > 0 {
+		js, t, ok := f.nextTask()
+		if !ok {
+			break
 		}
 		w := f.ready[0]
 		f.ready = f.ready[1:]
@@ -428,12 +544,12 @@ func (f *foreman) assign() {
 			// An unroutable worker has disconnected: drop it from the
 			// membership, requeue this task and anything else in flight
 			// to it immediately.
-			f.queue = append([]Task{t}, f.queue...)
+			js.queue = append([]Task{t}, js.queue...)
 			delete(f.members, w)
 			delete(f.dead, w)
 			f.dropBusy(w)
-			f.event(monWorkerDead, w, t.Round, "send failed")
-			f.opt.Obs.TimedOut(w, t.Round, t.ID)
+			f.event(monWorkerDead, w, t.Job, t.Round, "send failed")
+			f.opt.Obs.TimedOut(w, t.Job, t.Round, t.ID)
 			continue
 		}
 		f.busy[w] = append(f.busy[w], rec)
@@ -441,9 +557,9 @@ func (f *foreman) assign() {
 		if len(f.busy[w]) < f.opt.Pipeline {
 			f.ready = append(f.ready, w)
 		}
-		f.event(monDispatch, w, t.Round, fmt.Sprintf("task=%d", t.ID))
+		f.event(monDispatch, w, t.Job, t.Round, fmt.Sprintf("task=%d", t.ID))
 		if f.opt.Obs != nil {
-			f.opt.Obs.Dispatched(w, t.Round, t.ID, now.Sub(f.enq[t.ID]))
+			f.opt.Obs.Dispatched(w, t.Job, t.Round, t.ID, now.Sub(js.enq[t.ID]))
 		}
 	}
 	f.depths()
@@ -463,7 +579,7 @@ func (f *foreman) handleResult(msg comm.Message) error {
 		// Paper §2.2: "If at some later time a response is received from
 		// the delinquent worker, then that worker is added back into the
 		// list of workers available to analyze trees."
-		f.event(monWorkerRevived, w, res.Round, "")
+		f.event(monWorkerRevived, w, res.Job, res.Round, "")
 		f.opt.Obs.Reinstated(w, res.Round)
 	}
 	// A reply proves liveness even if the transport never announced the
@@ -471,7 +587,7 @@ func (f *foreman) handleResult(msg comm.Message) error {
 	f.members[w] = true
 	var rtt time.Duration
 	for i, rec := range f.busy[w] {
-		if rec.task.ID == res.TaskID {
+		if rec.task.ID == res.TaskID && rec.task.Job == res.Job {
 			rtt = time.Since(rec.sent)
 			recs := append(f.busy[w][:i], f.busy[w][i+1:]...)
 			if len(recs) == 0 {
@@ -483,11 +599,13 @@ func (f *foreman) handleResult(msg comm.Message) error {
 			break
 		}
 	}
-	if _, known := f.byID[res.TaskID]; known {
-		if _, dup := f.results[res.TaskID]; !dup {
-			f.results[res.TaskID] = res
-			f.event(monResult, w, res.Round, fmt.Sprintf("task=%d lnl=%.4f", res.TaskID, res.LnL))
-			f.opt.Obs.Completed(w, res, rtt)
+	if js := f.jobs[res.Job]; js != nil {
+		if _, known := js.byID[res.TaskID]; known {
+			if _, dup := js.results[res.TaskID]; !dup {
+				js.results[res.TaskID] = res
+				f.event(monResult, w, res.Job, res.Round, fmt.Sprintf("task=%d lnl=%.4f", res.TaskID, res.LnL))
+				f.opt.Obs.Completed(w, res, rtt)
+			}
 		}
 	}
 	f.pushReady(w)
@@ -521,14 +639,14 @@ func (f *foreman) expire() {
 		f.dead[w] = true
 		f.dropReady(w)
 		f.dropBusy(w)
-		f.event(monWorkerDead, w, expired.task.Round, fmt.Sprintf("task=%d timed out", expired.task.ID))
-		f.opt.Obs.TimedOut(w, expired.task.Round, expired.task.ID)
+		f.event(monWorkerDead, w, expired.task.Job, expired.task.Round, fmt.Sprintf("task=%d timed out", expired.task.ID))
+		f.opt.Obs.TimedOut(w, expired.task.Job, expired.task.Round, expired.task.ID)
 		f.depths()
 	}
 }
 
 // event emits a monitor record when a monitor rank exists.
-func (f *foreman) event(kind byte, worker int, round uint64, info string) {
+func (f *foreman) event(kind byte, worker int, job, round uint64, info string) {
 	if f.lay.Monitor < 0 {
 		return
 	}
@@ -536,6 +654,7 @@ func (f *foreman) event(kind byte, worker int, round uint64, info string) {
 		Kind:   kind,
 		Worker: int32(worker),
 		Round:  round,
+		Job:    job,
 		Info:   info,
 		At:     time.Now().UnixNano(),
 	}))

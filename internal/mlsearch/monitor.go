@@ -39,11 +39,18 @@ type MonitorEvent struct {
 	Worker int32
 	// Round is the round the event belongs to.
 	Round uint64
+	// Job is the job the event belongs to (0 for membership events and
+	// legacy single-job runs). Travels as an extension field, so old
+	// monitors tolerate it.
+	Job uint64
 	// Info is a free-form detail string.
 	Info string
 	// At is the event time in Unix nanoseconds.
 	At int64
 }
+
+// Extension tags of the MonitorEvent envelope.
+const extMonJob byte = 1
 
 func marshalMonitorEvent(e MonitorEvent) []byte {
 	var w wireWriter
@@ -52,6 +59,7 @@ func marshalMonitorEvent(e MonitorEvent) []byte {
 	w.u64(e.Round)
 	w.str(e.Info)
 	w.u64(uint64(e.At))
+	w.extU64(extMonJob, e.Job)
 	return w.buf
 }
 
@@ -67,9 +75,13 @@ func unmarshalMonitorEvent(b []byte) (MonitorEvent, error) {
 		Info:   r.str("event info"),
 	}
 	e.At = int64(r.u64("event time"))
-	// Tolerate extension fields a newer foreman may append (rolling
-	// upgrades); this monitor has no tags of its own yet.
-	err := r.extFields("monitor event extension", func(byte, []byte) {})
+	// Unknown extension tags a newer foreman may append are tolerated
+	// (rolling upgrades).
+	err := r.extFields("monitor event extension", func(tag byte, payload []byte) {
+		if tag == extMonJob {
+			e.Job = extU64Val(payload)
+		}
+	})
 	return e, err
 }
 
@@ -80,19 +92,19 @@ func (e MonitorEvent) typed() any {
 	at := time.Unix(0, e.At)
 	switch e.Kind {
 	case monRoundStart:
-		ev := RoundStarted{Round: e.Round, At: at}
+		ev := RoundStarted{Job: e.Job, Round: e.Round, At: at}
 		fmt.Sscanf(e.Info, "tasks=%d", &ev.Tasks)
 		return ev
 	case monDispatch:
-		ev := TaskDispatched{Worker: int(e.Worker), Round: e.Round}
+		ev := TaskDispatched{Worker: int(e.Worker), Job: e.Job, Round: e.Round}
 		fmt.Sscanf(e.Info, "task=%d", &ev.TaskID)
 		return ev
 	case monResult:
-		ev := TaskCompleted{Worker: int(e.Worker), Round: e.Round}
+		ev := TaskCompleted{Worker: int(e.Worker), Job: e.Job, Round: e.Round}
 		fmt.Sscanf(e.Info, "task=%d lnl=%f", &ev.TaskID, &ev.LnL)
 		return ev
 	case monWorkerDead:
-		ev := WorkerTimedOut{Worker: int(e.Worker), Round: e.Round}
+		ev := WorkerTimedOut{Worker: int(e.Worker), Job: e.Job, Round: e.Round}
 		fmt.Sscanf(e.Info, "task=%d", &ev.TaskID)
 		return ev
 	case monWorkerRevived:
@@ -102,11 +114,11 @@ func (e MonitorEvent) typed() any {
 	case monWorkerLeft:
 		return WorkerLeft{Worker: int(e.Worker)}
 	case monInline:
-		ev := InlineEvaluated{Round: e.Round}
+		ev := InlineEvaluated{Job: e.Job, Round: e.Round}
 		fmt.Sscanf(e.Info, "task=%d lnl=%f", &ev.TaskID, &ev.LnL)
 		return ev
 	case monRoundDone:
-		ev := RoundCompleted{Round: e.Round, At: at}
+		ev := RoundCompleted{Job: e.Job, Round: e.Round, At: at}
 		fmt.Sscanf(e.Info, "best=%f", &ev.BestLnL)
 		return ev
 	}
@@ -182,16 +194,26 @@ func attachMonitorLog(bus *obs.Bus, w io.Writer, verbose bool) func() {
 		return func() {}
 	}
 	out := obs.NewLockedWriter(w)
-	var roundStart time.Time
+	// Round-start times are kept per job: with concurrent searches,
+	// several rounds are open at once.
+	roundStart := map[uint64]time.Time{}
+	// jobTag renders a job qualifier; single-job runs (job 0) keep the
+	// historical unqualified lines.
+	jobTag := func(job uint64) string {
+		if job == 0 {
+			return ""
+		}
+		return fmt.Sprintf("job %d ", job)
+	}
 	return bus.Subscribe(func(e any) {
 		switch ev := e.(type) {
 		case RoundStarted:
-			roundStart = ev.At
+			roundStart[ev.Job] = ev.At
 			if verbose {
-				fmt.Fprintf(out, "monitor: round %d start (tasks=%d)\n", ev.Round, ev.Tasks)
+				fmt.Fprintf(out, "monitor: %sround %d start (tasks=%d)\n", jobTag(ev.Job), ev.Round, ev.Tasks)
 			}
 		case WorkerTimedOut:
-			fmt.Fprintf(out, "monitor: worker %d removed (task %d requeued)\n", ev.Worker, ev.TaskID)
+			fmt.Fprintf(out, "monitor: worker %d removed (%stask %d requeued)\n", ev.Worker, jobTag(ev.Job), ev.TaskID)
 		case WorkerReinstated:
 			fmt.Fprintf(out, "monitor: worker %d reinstated\n", ev.Worker)
 		case WorkerJoined:
@@ -199,11 +221,12 @@ func attachMonitorLog(bus *obs.Bus, w io.Writer, verbose bool) func() {
 		case WorkerLeft:
 			fmt.Fprintf(out, "monitor: worker %d left\n", ev.Worker)
 		case InlineEvaluated:
-			fmt.Fprintf(out, "monitor: foreman evaluated inline (task %d lnl=%.4f)\n", ev.TaskID, ev.LnL)
+			fmt.Fprintf(out, "monitor: foreman evaluated inline (%stask %d lnl=%.4f)\n", jobTag(ev.Job), ev.TaskID, ev.LnL)
 		case RoundCompleted:
 			if verbose {
-				fmt.Fprintf(out, "monitor: round %d done in %v (best=%.4f)\n", ev.Round, ev.At.Sub(roundStart), ev.BestLnL)
+				fmt.Fprintf(out, "monitor: %sround %d done in %v (best=%.4f)\n", jobTag(ev.Job), ev.Round, ev.At.Sub(roundStart[ev.Job]), ev.BestLnL)
 			}
+			delete(roundStart, ev.Job)
 		}
 	})
 }

@@ -20,8 +20,11 @@ import (
 // travel to a dedicated monitor rank) decode into these; in-process
 // consumers get them directly, without a wire round trip.
 type (
-	// RoundStarted marks the foreman accepting a round batch.
+	// RoundStarted marks the foreman accepting a round batch. Job
+	// identifies the submitting search when several share the foreman
+	// (0 in single-job runs).
 	RoundStarted struct {
+		Job   uint64
 		Round uint64
 		Tasks int
 		At    time.Time
@@ -29,6 +32,7 @@ type (
 	// TaskDispatched marks one task handed to a worker.
 	TaskDispatched struct {
 		Worker int
+		Job    uint64
 		Round  uint64
 		TaskID uint64
 		// QueueWait is how long the task sat in the work queue.
@@ -37,6 +41,7 @@ type (
 	// TaskCompleted marks a result accepted from a worker.
 	TaskCompleted struct {
 		Worker int
+		Job    uint64
 		Round  uint64
 		TaskID uint64
 		LnL    float64
@@ -49,6 +54,7 @@ type (
 	// send failed); the task is requeued.
 	WorkerTimedOut struct {
 		Worker int
+		Job    uint64
 		Round  uint64
 		TaskID uint64
 	}
@@ -65,12 +71,14 @@ type (
 	// InlineEvaluated marks a task the foreman evaluated itself because
 	// no live workers remained.
 	InlineEvaluated struct {
+		Job    uint64
 		Round  uint64
 		TaskID uint64
 		LnL    float64
 	}
 	// RoundCompleted marks a round reply sent back to the master.
 	RoundCompleted struct {
+		Job     uint64
 		Round   uint64
 		BestLnL float64
 		At      time.Time
@@ -102,6 +110,25 @@ type WorkerRunSnapshot struct {
 	State      string  `json:"state"`
 }
 
+// jobRow accumulates one open round's progress, keyed by job id.
+type jobRow struct {
+	Round      uint64
+	Tasks      int
+	Dispatched int
+	Completed  int
+	Inline     int
+}
+
+// JobRunSnapshot is one open job's row in a RunSnapshot.
+type JobRunSnapshot struct {
+	Job        uint64 `json:"job"`
+	Round      uint64 `json:"round"`
+	Tasks      int    `json:"tasks"`
+	Dispatched int    `json:"dispatched"`
+	Completed  int    `json:"completed"`
+	Inline     int    `json:"inline,omitempty"`
+}
+
 // RunSnapshot is the /status JSON document of a hosting process.
 type RunSnapshot struct {
 	Started    time.Time           `json:"started"`
@@ -111,6 +138,7 @@ type RunSnapshot struct {
 	Busy       int                 `json:"busy_workers"`
 	Ready      int                 `json:"ready_workers"`
 	Inflight   int                 `json:"inflight_tasks"`
+	ActiveJobs int                 `json:"active_jobs"`
 	Members    int                 `json:"members"`
 	BestLnL    float64             `json:"best_lnl"`
 	Dispatched int                 `json:"dispatched"`
@@ -121,6 +149,7 @@ type RunSnapshot struct {
 	Joins      int                 `json:"joins"`
 	Leaves     int                 `json:"leaves"`
 	Workers    []WorkerRunSnapshot `json:"workers"`
+	Jobs       []JobRunSnapshot    `json:"jobs,omitempty"`
 	Recent     []obs.SpanRecord    `json:"recent_spans,omitempty"`
 }
 
@@ -130,27 +159,31 @@ type RunObserver struct {
 	bus   *obs.Bus
 	spans *obs.SpanLog
 
-	mRounds     *obs.Counter
-	mDispatch   *obs.Counter
-	mResults    *obs.CounterVec
-	mTimeouts   *obs.CounterVec
-	mReinstates *obs.CounterVec
-	mJoins      *obs.Counter
-	mLeaves     *obs.Counter
-	mInline     *obs.Counter
-	gRound      *obs.Gauge
-	gQueue      *obs.Gauge
-	gBusy       *obs.Gauge
-	gReady      *obs.Gauge
-	gInflight   *obs.Gauge
-	gBestLnL    *obs.Gauge
-	hPhase      *obs.HistogramVec
+	mRounds      *obs.Counter
+	mDispatch    *obs.Counter
+	mJobDispatch *obs.CounterVec
+	mResults     *obs.CounterVec
+	mTimeouts    *obs.CounterVec
+	mReinstates  *obs.CounterVec
+	mJoins       *obs.Counter
+	mLeaves      *obs.Counter
+	mInline      *obs.Counter
+	gRound       *obs.Gauge
+	gQueue       *obs.Gauge
+	gJobQueue    *obs.GaugeVec
+	gBusy        *obs.Gauge
+	gReady       *obs.Gauge
+	gInflight    *obs.Gauge
+	gActiveJobs  *obs.Gauge
+	gBestLnL     *obs.Gauge
+	hPhase       *obs.HistogramVec
 
 	mu      sync.Mutex
 	started time.Time
 	snap    RunSnapshot
 	hist    map[int]*workerHistory
 	busy    map[int]bool
+	jobs    map[uint64]*jobRow
 }
 
 // NewRunObserver builds an observer over a registry and an event bus
@@ -162,25 +195,29 @@ func NewRunObserver(reg *obs.Registry, bus *obs.Bus) *RunObserver {
 		bus:   bus,
 		spans: obs.NewSpanLog(64),
 
-		mRounds:     reg.Counter("fdml_rounds_total", "Completed dispatch rounds."),
-		mDispatch:   reg.Counter("fdml_dispatch_total", "Tasks handed to workers."),
-		mResults:    reg.CounterVec("fdml_results_total", "Results accepted, by worker rank.", "worker"),
-		mTimeouts:   reg.CounterVec("fdml_timeouts_total", "Fault-tolerance removals, by worker rank.", "worker"),
-		mReinstates: reg.CounterVec("fdml_reinstates_total", "Delinquent workers reinstated, by rank.", "worker"),
-		mJoins:      reg.Counter("fdml_joins_total", "Workers that joined the world."),
-		mLeaves:     reg.Counter("fdml_leaves_total", "Workers that left permanently."),
-		mInline:     reg.Counter("fdml_inline_total", "Tasks the foreman evaluated inline."),
-		gRound:      reg.Gauge("fdml_round", "Current dispatch round."),
-		gQueue:      reg.Gauge("fdml_queue_depth", "Tasks waiting in the work queue."),
-		gBusy:       reg.Gauge("fdml_busy_workers", "Workers with a task in flight."),
-		gReady:      reg.Gauge("fdml_ready_workers", "Alive workers with spare pipeline capacity."),
-		gInflight:   reg.Gauge("fdml_inflight_tasks", "Total dispatched tasks awaiting results."),
-		gBestLnL:    reg.Gauge("fdml_best_lnl", "Best log-likelihood seen so far."),
-		hPhase:      reg.HistogramVec("fdml_task_phase_seconds", "Per-task phase latency.", taskPhaseBuckets, "phase"),
+		mRounds:      reg.Counter("fdml_rounds_total", "Completed dispatch rounds."),
+		mDispatch:    reg.Counter("fdml_dispatch_total", "Tasks handed to workers."),
+		mJobDispatch: reg.CounterVec("fdml_job_dispatch_total", "Tasks handed to workers, by job id.", "job"),
+		mResults:     reg.CounterVec("fdml_results_total", "Results accepted, by worker rank.", "worker"),
+		mTimeouts:    reg.CounterVec("fdml_timeouts_total", "Fault-tolerance removals, by worker rank.", "worker"),
+		mReinstates:  reg.CounterVec("fdml_reinstates_total", "Delinquent workers reinstated, by rank.", "worker"),
+		mJoins:       reg.Counter("fdml_joins_total", "Workers that joined the world."),
+		mLeaves:      reg.Counter("fdml_leaves_total", "Workers that left permanently."),
+		mInline:      reg.Counter("fdml_inline_total", "Tasks the foreman evaluated inline."),
+		gRound:       reg.Gauge("fdml_round", "Current dispatch round."),
+		gQueue:       reg.Gauge("fdml_queue_depth", "Tasks waiting in the work queue."),
+		gJobQueue:    reg.GaugeVec("fdml_job_queue_depth", "Outstanding tasks of an open round, by job id.", "job"),
+		gBusy:        reg.Gauge("fdml_busy_workers", "Workers with a task in flight."),
+		gReady:       reg.Gauge("fdml_ready_workers", "Alive workers with spare pipeline capacity."),
+		gInflight:    reg.Gauge("fdml_inflight_tasks", "Total dispatched tasks awaiting results."),
+		gActiveJobs:  reg.Gauge("fdml_active_jobs", "Jobs with an open round at the foreman."),
+		gBestLnL:     reg.Gauge("fdml_best_lnl", "Best log-likelihood seen so far."),
+		hPhase:       reg.HistogramVec("fdml_task_phase_seconds", "Per-task phase latency.", taskPhaseBuckets, "phase"),
 
 		started: time.Now(),
 		hist:    map[int]*workerHistory{},
 		busy:    map[int]bool{},
+		jobs:    map[uint64]*jobRow{},
 	}
 	o.snap.Started = o.started
 	return o
@@ -221,10 +258,18 @@ func (o *RunObserver) worker(rank int) *workerHistory {
 	return h
 }
 
-// Depths records the foreman's queue/busy/ready/inflight sizes after a
-// scheduling step; the foreman calls it wherever those sets change. With
-// pipelining, inflight can exceed busy (several tasks per worker).
-func (o *RunObserver) Depths(queue, busy, ready, inflight int) {
+// jobQueueGauge refreshes the per-job outstanding-task gauge from a row.
+// Callers hold o.mu.
+func (o *RunObserver) jobQueueGauge(job uint64, row *jobRow) {
+	o.gJobQueue.With(jobLabel(job)).Set(float64(row.Tasks - row.Completed))
+}
+
+// Depths records the foreman's queue/busy/ready/inflight sizes and the
+// number of jobs with an open round after a scheduling step; the foreman
+// calls it wherever those sets change. With pipelining, inflight can
+// exceed busy (several tasks per worker); with concurrent searches, jobs
+// can exceed one.
+func (o *RunObserver) Depths(queue, busy, ready, inflight, jobs int) {
 	if o == nil {
 		return
 	}
@@ -232,35 +277,44 @@ func (o *RunObserver) Depths(queue, busy, ready, inflight int) {
 	o.gBusy.Set(float64(busy))
 	o.gReady.Set(float64(ready))
 	o.gInflight.Set(float64(inflight))
+	o.gActiveJobs.Set(float64(jobs))
 	o.mu.Lock()
 	o.snap.QueueDepth, o.snap.Busy, o.snap.Ready, o.snap.Inflight = queue, busy, ready, inflight
+	o.snap.ActiveJobs = jobs
 	o.mu.Unlock()
 }
 
 // RoundStart records a round batch arriving at the foreman.
-func (o *RunObserver) RoundStart(round uint64, tasks int) {
+func (o *RunObserver) RoundStart(job, round uint64, tasks int) {
 	if o == nil {
 		return
 	}
 	o.gRound.Set(float64(round))
 	o.mu.Lock()
 	o.snap.Round = round
+	row := &jobRow{Round: round, Tasks: tasks}
+	o.jobs[job] = row
+	o.jobQueueGauge(job, row)
 	o.mu.Unlock()
-	o.bus.Publish(RoundStarted{Round: round, Tasks: tasks, At: time.Now()})
+	o.bus.Publish(RoundStarted{Job: job, Round: round, Tasks: tasks, At: time.Now()})
 }
 
 // Dispatched records one task send, with the time it sat queued.
-func (o *RunObserver) Dispatched(worker int, round, taskID uint64, queueWait time.Duration) {
+func (o *RunObserver) Dispatched(worker int, job, round, taskID uint64, queueWait time.Duration) {
 	if o == nil {
 		return
 	}
 	o.mDispatch.Inc()
+	o.mJobDispatch.With(jobLabel(job)).Inc()
 	o.hPhase.With(obs.PhaseQueue).Observe(queueWait.Seconds())
 	o.mu.Lock()
 	o.snap.Dispatched++
 	o.busy[worker] = true
+	if row := o.jobs[job]; row != nil {
+		row.Dispatched++
+	}
 	o.mu.Unlock()
-	o.bus.Publish(TaskDispatched{Worker: worker, Round: round, TaskID: taskID, QueueWait: queueWait})
+	o.bus.Publish(TaskDispatched{Worker: worker, Job: job, Round: round, TaskID: taskID, QueueWait: queueWait})
 }
 
 // Completed records one accepted result and closes its trace span.
@@ -286,6 +340,10 @@ func (o *RunObserver) Completed(worker int, res Result, rtt time.Duration) {
 	h.EvalTotal += res.Eval
 	h.LastSeen = now
 	delete(o.busy, worker)
+	if row := o.jobs[res.Job]; row != nil {
+		row.Completed++
+		o.jobQueueGauge(res.Job, row)
+	}
 	o.mu.Unlock()
 	if res.Trace.Valid() {
 		phases := map[string]float64{}
@@ -303,12 +361,12 @@ func (o *RunObserver) Completed(worker int, res Result, rtt time.Duration) {
 			Round: res.Round, End: now, PhasesMs: phases,
 		})
 	}
-	o.bus.Publish(TaskCompleted{Worker: worker, Round: res.Round, TaskID: res.TaskID, LnL: res.LnL, RTT: rtt, Eval: res.Eval})
+	o.bus.Publish(TaskCompleted{Worker: worker, Job: res.Job, Round: res.Round, TaskID: res.TaskID, LnL: res.LnL, RTT: rtt, Eval: res.Eval})
 }
 
 // TimedOut records a fault-tolerance removal (deadline missed or send
 // failed); the task has been requeued.
-func (o *RunObserver) TimedOut(worker int, round, taskID uint64) {
+func (o *RunObserver) TimedOut(worker int, job, round, taskID uint64) {
 	if o == nil {
 		return
 	}
@@ -318,7 +376,7 @@ func (o *RunObserver) TimedOut(worker int, round, taskID uint64) {
 	o.worker(worker).Timeouts++
 	delete(o.busy, worker)
 	o.mu.Unlock()
-	o.bus.Publish(WorkerTimedOut{Worker: worker, Round: round, TaskID: taskID})
+	o.bus.Publish(WorkerTimedOut{Worker: worker, Job: job, Round: round, TaskID: taskID})
 }
 
 // Reinstated records a delinquent worker welcomed back.
@@ -361,29 +419,36 @@ func (o *RunObserver) Left(worker int) {
 }
 
 // Inline records one task the foreman evaluated itself.
-func (o *RunObserver) Inline(round, taskID uint64, lnL float64) {
+func (o *RunObserver) Inline(job, round, taskID uint64, lnL float64) {
 	if o == nil {
 		return
 	}
 	o.mInline.Inc()
 	o.mu.Lock()
 	o.snap.Inline++
+	if row := o.jobs[job]; row != nil {
+		row.Inline++
+		row.Completed++
+		o.jobQueueGauge(job, row)
+	}
 	o.mu.Unlock()
-	o.bus.Publish(InlineEvaluated{Round: round, TaskID: taskID, LnL: lnL})
+	o.bus.Publish(InlineEvaluated{Job: job, Round: round, TaskID: taskID, LnL: lnL})
 }
 
 // RoundDone records a round reply with its best likelihood.
-func (o *RunObserver) RoundDone(round uint64, members int, bestLnL float64) {
+func (o *RunObserver) RoundDone(job, round uint64, members int, bestLnL float64) {
 	if o == nil {
 		return
 	}
 	o.mRounds.Inc()
 	o.gBestLnL.Set(bestLnL)
+	o.gJobQueue.With(jobLabel(job)).Set(0)
 	o.mu.Lock()
 	o.snap.BestLnL = bestLnL
 	o.snap.Members = members
+	delete(o.jobs, job)
 	o.mu.Unlock()
-	o.bus.Publish(RoundCompleted{Round: round, BestLnL: bestLnL, At: time.Now()})
+	o.bus.Publish(RoundCompleted{Job: job, Round: round, BestLnL: bestLnL, At: time.Now()})
 }
 
 // Snapshot renders the live /status document.
@@ -414,6 +479,19 @@ func (o *RunObserver) Snapshot() RunSnapshot {
 		}
 		s.Workers = append(s.Workers, row)
 	}
+	jobIDs := make([]uint64, 0, len(o.jobs))
+	for id := range o.jobs {
+		jobIDs = append(jobIDs, id)
+	}
+	sort.Slice(jobIDs, func(i, j int) bool { return jobIDs[i] < jobIDs[j] })
+	s.Jobs = make([]JobRunSnapshot, 0, len(jobIDs))
+	for _, id := range jobIDs {
+		row := o.jobs[id]
+		s.Jobs = append(s.Jobs, JobRunSnapshot{
+			Job: id, Round: row.Round, Tasks: row.Tasks,
+			Dispatched: row.Dispatched, Completed: row.Completed, Inline: row.Inline,
+		})
+	}
 	o.mu.Unlock()
 	s.UptimeMs = obs.PhaseMs(time.Since(o.started))
 	s.Recent = o.spans.Recent()
@@ -426,6 +504,11 @@ func rankLabel(rank int) string {
 		return "inline"
 	}
 	return itoa(rank)
+}
+
+// jobLabel renders a job id as a metric label value.
+func jobLabel(job uint64) string {
+	return itoa(int(job))
 }
 
 // itoa is a minimal non-negative int formatter (avoids strconv in the

@@ -250,16 +250,16 @@ func TestWorkerObserver(t *testing.T) {
 
 func TestRunObserverNilIsInert(t *testing.T) {
 	var o *RunObserver
-	o.RoundStart(1, 2)
-	o.Dispatched(1, 1, 1, time.Millisecond)
+	o.RoundStart(0, 1, 2)
+	o.Dispatched(1, 0, 1, 1, time.Millisecond)
 	o.Completed(1, Result{}, time.Millisecond)
-	o.TimedOut(1, 1, 1)
+	o.TimedOut(1, 0, 1, 1)
 	o.Reinstated(1, 1)
 	o.Joined(1)
 	o.Left(1)
-	o.Inline(1, 1, -1)
-	o.RoundDone(1, 0, -1)
-	o.Depths(0, 0, 0, 0)
+	o.Inline(0, 1, 1, -1)
+	o.RoundDone(0, 1, 0, -1)
+	o.Depths(0, 0, 0, 0, 0)
 	if o.Bus() != nil || o.Registry() != nil || o.Spans() != nil {
 		t.Error("nil observer accessors must return nil")
 	}

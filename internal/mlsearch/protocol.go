@@ -115,10 +115,19 @@ const (
 	ctlRoundReply
 )
 
+// Extension tag shared by both control envelopes: the job id, appended
+// after the fixed v1 layout so legacy decoders (which stopped at the
+// task/stat list) would still parse the frame.
+const extCtlJob byte = 1
+
 // roundBatch is the master -> foreman message starting a round.
 type roundBatch struct {
 	Round uint64
 	Tasks []Task
+	// Job identifies the submitting search; several searches may have
+	// batches open at the foreman at once. Zero is the legacy single-job
+	// protocol.
+	Job uint64
 }
 
 // roundReply is the foreman -> master answer: per-task statistics
@@ -127,6 +136,9 @@ type roundReply struct {
 	Round uint64
 	Best  Result
 	Stats []Result
+	// Job echoes roundBatch.Job so the master-side mux can route the
+	// reply to the search that is waiting on it.
+	Job uint64
 }
 
 func marshalRoundBatch(b roundBatch) []byte {
@@ -139,6 +151,7 @@ func marshalRoundBatch(b roundBatch) []byte {
 		w.i32(int32(len(inner)))
 		w.buf = append(w.buf, inner...)
 	}
+	w.extU64(extCtlJob, b.Job)
 	return w.buf
 }
 
@@ -165,7 +178,12 @@ func unmarshalRoundBatch(data []byte) (roundBatch, error) {
 		r.off += int(ln)
 		out.Tasks = append(out.Tasks, t)
 	}
-	return out, r.done("round batch")
+	err := r.extFields("round batch extension", func(tag byte, payload []byte) {
+		if tag == extCtlJob {
+			out.Job = extU64Val(payload)
+		}
+	})
+	return out, err
 }
 
 func marshalRoundReply(rr roundReply) []byte {
@@ -181,6 +199,7 @@ func marshalRoundReply(rr roundReply) []byte {
 		w.i32(int32(len(inner)))
 		w.buf = append(w.buf, inner...)
 	}
+	w.extU64(extCtlJob, rr.Job)
 	return w.buf
 }
 
@@ -219,5 +238,10 @@ func unmarshalRoundReply(data []byte) (roundReply, error) {
 		r.off += int(ln)
 		out.Stats = append(out.Stats, res)
 	}
-	return out, r.done("round reply")
+	err := r.extFields("round reply extension", func(tag byte, payload []byte) {
+		if tag == extCtlJob {
+			out.Job = extU64Val(payload)
+		}
+	})
+	return out, err
 }

@@ -62,6 +62,12 @@ type RunOptions struct {
 	WithMonitor bool
 	// Jumbles is the number of random orderings to run (>= 1).
 	Jumbles int
+	// MaxConcurrentJumbles bounds how many jumbles run concurrently as
+	// jobs over the shared foreman. 0 defaults to min(Jumbles, Workers)
+	// for the parallel transports (Serial always runs one at a time).
+	// Per-jumble results are identical at any setting; only wall-clock
+	// changes.
+	MaxConcurrentJumbles int
 	// Foreman tunes dispatch fault tolerance (Local and TCP).
 	Foreman ForemanOptions
 	// MonitorOut receives monitor output lines (nil discards).
@@ -79,8 +85,14 @@ type RunOptions struct {
 	// checkpoint) after every completed taxon addition.
 	OnCheckpoint func(int, Checkpoint)
 	// Resume, when non-nil, continues a previously checkpointed search
-	// instead of starting fresh. Requires Jumbles <= 1.
+	// instead of starting fresh. Requires Jumbles <= 1; multi-jumble
+	// runs resume through ResumeManifest.
 	Resume *Checkpoint
+	// ResumeManifest, when non-nil, resumes a multi-jumble run: each
+	// jumble with a manifest entry continues from its checkpoint (done
+	// jumbles return their stored result immediately); jumbles without
+	// an entry start fresh from their derived seed.
+	ResumeManifest *Manifest
 
 	// Addr is the TCP listen address (e.g. ":7946" or "127.0.0.1:0").
 	Addr string
@@ -111,7 +123,10 @@ func Run(cfg Config, opt RunOptions) (*RunOutcome, error) {
 		opt.Jumbles = 1
 	}
 	if opt.Resume != nil && opt.Jumbles > 1 {
-		return nil, fmt.Errorf("mlsearch: cannot resume a %d-jumble run (checkpoints describe one ordering)", opt.Jumbles)
+		return nil, fmt.Errorf("mlsearch: cannot resume a %d-jumble run from a single checkpoint (use ResumeManifest)", opt.Jumbles)
+	}
+	if opt.Resume != nil && opt.ResumeManifest != nil {
+		return nil, fmt.Errorf("mlsearch: Resume and ResumeManifest are mutually exclusive")
 	}
 	switch opt.Transport {
 	case Serial:
@@ -124,42 +139,101 @@ func Run(cfg Config, opt RunOptions) (*RunOutcome, error) {
 	return nil, fmt.Errorf("mlsearch: unknown transport %d", int(opt.Transport))
 }
 
-// runJumbles executes opt.Jumbles searches against a dispatcher, the
-// shared core of every transport's master side. Seeds advance by 2 per
-// jumble from cfg.Seed (keeping them odd, §2.1).
-func runJumbles(disp Dispatcher, cfg Config, opt RunOptions) ([]*SearchResult, error) {
-	var out []*SearchResult
+// runJumbles executes opt.Jumbles searches against dispatchers minted
+// from src, the shared core of every transport's master side. Seeds
+// advance by 2 per jumble from cfg.Seed (keeping them odd, §2.1). Up to
+// MaxConcurrentJumbles searches run as goroutines, each in its own job
+// lane through the shared foreman; per-jumble results are identical to
+// the sequential schedule because every search's rounds remain a
+// barrier within its own lane.
+func runJumbles(src dispatcherSource, cfg Config, opt RunOptions) ([]*SearchResult, error) {
 	seed := NormalizeSeed(cfg.Seed)
-	for j := 0; j < opt.Jumbles; j++ {
+	configs := make([]Config, opt.Jumbles)
+	resumes := make([]*Checkpoint, opt.Jumbles)
+	for j := range configs {
 		jcfg := cfg
-		jcfg.Seed = seed
+		jcfg.Seed = seed + int64(2*j)
 		jcfg.Jumble = j
-		seed += 2
 		if opt.Resume != nil {
+			// The checkpoint records which jumble and seed it was; a
+			// resumed jumble 3 must not be relabeled 0.
 			jcfg.Seed = opt.Resume.Seed
 			jcfg.Jumble = opt.Resume.Jumble
+			resumes[j] = opt.Resume
+		} else if opt.ResumeManifest != nil {
+			if cp, ok := opt.ResumeManifest.Checkpoint(j); ok {
+				jcfg.Seed = cp.Seed
+				jcfg.Jumble = cp.Jumble
+				resumes[j] = &cp
+			}
 		}
-		s, err := NewSearch(jcfg, disp)
+		configs[j] = jcfg
+	}
+
+	runOne := func(j int) (*SearchResult, error) {
+		disp, err := src.NewDispatcher()
 		if err != nil {
 			return nil, err
 		}
-		idx := j
+		s, err := NewSearch(configs[j], disp)
+		if err != nil {
+			return nil, err
+		}
+		// Callbacks report the jumble's own index, not the loop counter
+		// (they differ on resumed runs).
+		idx := configs[j].Jumble
 		if opt.Progress != nil {
 			s.Progress = func(e ProgressEvent) { opt.Progress(idx, e) }
 		}
 		if opt.OnCheckpoint != nil {
 			s.OnCheckpoint = func(cp Checkpoint) { opt.OnCheckpoint(idx, cp) }
 		}
-		var res *SearchResult
-		if opt.Resume != nil {
-			res, err = s.Resume(*opt.Resume)
-		} else {
-			res, err = s.Run()
+		if cp := resumes[j]; cp != nil {
+			return s.Resume(*cp)
 		}
+		return s.Run()
+	}
+
+	conc := opt.MaxConcurrentJumbles
+	if conc < 1 {
+		conc = opt.Workers
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	if conc > opt.Jumbles {
+		conc = opt.Jumbles
+	}
+
+	out := make([]*SearchResult, opt.Jumbles)
+	if conc == 1 {
+		for j := range out {
+			res, err := runOne(j)
+			if err != nil {
+				return nil, fmt.Errorf("mlsearch: jumble %d: %w", configs[j].Jumble, err)
+			}
+			out[j] = res
+		}
+		return out, nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, opt.Jumbles)
+	sem := make(chan struct{}, conc)
+	for j := range out {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[j], errs[j] = runOne(j)
+		}(j)
+	}
+	wg.Wait()
+	for j, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("mlsearch: jumble %d: %w", j, err)
+			return nil, fmt.Errorf("mlsearch: jumble %d: %w", configs[j].Jumble, err)
 		}
-		out = append(out, res)
 	}
 	return out, nil
 }
@@ -169,7 +243,10 @@ func runSerialTransport(cfg Config, opt RunOptions) (*RunOutcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := runJumbles(disp, cfg, opt)
+	// One evaluator, one goroutine: serial searches must not overlap.
+	opt.MaxConcurrentJumbles = 1
+	opt.Workers = 0
+	results, err := runJumbles(fixedSource{d: disp}, cfg, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -263,14 +340,15 @@ func runLocalTransport(cfg Config, opt RunOptions) (*RunOutcome, error) {
 }
 
 // runMasterSide executes the master role over a communicator: run the
-// jumbles through the foreman, then shut the world down.
+// jumbles through the foreman (each in its own job lane), then shut the
+// world down.
 func runMasterSide(c comm.Communicator, lay Layout, norm Config, opt RunOptions) ([]*SearchResult, error) {
-	disp, err := NewForemanDispatcher(c, lay)
+	mux, err := NewJobMux(c, lay)
 	if err != nil {
 		return nil, err
 	}
-	defer func() { _ = disp.Shutdown() }()
-	return runJumbles(disp, norm, opt)
+	defer func() { _ = mux.Shutdown() }()
+	return runJumbles(mux, norm, opt)
 }
 
 // newInlineEvaluator builds the evaluator the foreman falls back to when

@@ -130,6 +130,10 @@ type SearchResult struct {
 	LnL float64
 	// Order is the taxon insertion order used.
 	Order []int
+	// Seed is the normalized seed the ordering actually ran with.
+	// Resumed searches carry the checkpoint's seed, which callers must
+	// not re-derive from the jumble index.
+	Seed int64
 	// Rounds is the per-round log consumed by the cluster simulator
 	// (nil when Config.DisableRoundLog).
 	Rounds []RoundStats
@@ -255,6 +259,7 @@ func (s *Search) run(order []int, tr *tree.Tree, lnL float64, startIdx int, fina
 		BestNewick: tr.Newick(),
 		LnL:        lnL,
 		Order:      order,
+		Seed:       NormalizeSeed(s.cfg.Seed),
 		TotalTasks: s.total,
 		TotalOps:   s.totalOps,
 	}

@@ -63,6 +63,14 @@ type Task struct {
 	// means untraced; it travels as an extension field, so pre-trace
 	// peers interoperate.
 	Trace obs.SpanContext
+
+	// Job identifies the search (jumble or replicate) this task belongs
+	// to when several searches share one foreman. Task IDs are only
+	// unique within a job, so the foreman keys its round state by
+	// (Job, ID). Zero means "the single-job protocol" — the value legacy
+	// masters send — and travels as an extension field, so old decoders
+	// tolerate it.
+	Job uint64
 }
 
 // Result is a worker's answer to one Task.
@@ -93,6 +101,9 @@ type Result struct {
 	NewtonIters uint64
 	// Trace echoes Task.Trace so the reply closes the dispatched span.
 	Trace obs.SpanContext
+	// Job echoes Task.Job so the foreman can attribute the reply to the
+	// right job without consulting its dispatch records.
+	Job uint64
 }
 
 // --- binary wire codec -------------------------------------------------
@@ -240,6 +251,7 @@ func extU64Val(payload []byte) uint64 {
 const (
 	extTaskTraceID byte = 1 + iota
 	extTaskSpanID
+	extTaskJob
 )
 
 // Extension tags of the Result envelope.
@@ -248,6 +260,7 @@ const (
 	extResultSpanID
 	extResultEvalNs
 	extResultNewtonIters
+	extResultJob
 )
 
 // MarshalTask encodes a Task for the wire. The returned buffer comes
@@ -273,6 +286,7 @@ func MarshalTask(t Task) []byte {
 	w.i32(t.MoveTB)
 	w.extU64(extTaskTraceID, t.Trace.TraceID)
 	w.extU64(extTaskSpanID, t.Trace.SpanID)
+	w.extU64(extTaskJob, t.Job)
 	return w.buf
 }
 
@@ -299,6 +313,8 @@ func UnmarshalTask(b []byte) (Task, error) {
 			t.Trace.TraceID = extU64Val(payload)
 		case extTaskSpanID:
 			t.Trace.SpanID = extU64Val(payload)
+		case extTaskJob:
+			t.Job = extU64Val(payload)
 		}
 	})
 	return t, err
@@ -320,6 +336,7 @@ func MarshalResult(res Result) []byte {
 	w.extU64(extResultSpanID, res.Trace.SpanID)
 	w.extU64(extResultEvalNs, uint64(res.Eval))
 	w.extU64(extResultNewtonIters, res.NewtonIters)
+	w.extU64(extResultJob, res.Job)
 	return w.buf
 }
 
@@ -346,6 +363,8 @@ func UnmarshalResult(b []byte) (Result, error) {
 			res.Eval = time.Duration(extU64Val(payload))
 		case extResultNewtonIters:
 			res.NewtonIters = extU64Val(payload)
+		case extResultJob:
+			res.Job = extU64Val(payload)
 		}
 	})
 	return res, err
