@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race bench chaos-soak
+.PHONY: check vet staticcheck build test race bench bench-compare chaos-soak
 
 # Tier-1 gate: everything that must pass before a change lands.
 check: vet staticcheck build test race
@@ -23,10 +23,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race detector over the concurrency-bearing packages (parallel runtime
-# and message passing).
+# Race detector over the concurrency-bearing packages (parallel runtime,
+# message passing, and the sharded likelihood kernels — including the
+# float32/float64 precision property tests).
 race:
-	$(GO) test -race ./internal/comm/... ./internal/mlsearch/...
+	$(GO) test -race ./internal/comm/... ./internal/mlsearch/... ./internal/likelihood/...
 
 # Kernel scaling benchmarks: the sharded pruning and Newton kernels at
 # 1/2/4 engine threads under GOMAXPROCS 1/2/4, with -benchmem asserting
@@ -36,10 +37,18 @@ race:
 bench:
 	$(GO) test -run XXX -bench 'DownPartial|NewtonEdge|FullSmooth' -cpu 1,2,4 -benchmem ./internal/likelihood/
 	$(GO) test -run XXX -bench Codec -benchmem ./internal/mlsearch/
-	FDML_BENCH_DIR=bench $(GO) test -count=1 -run TestKernelBenchJSON -v ./internal/likelihood/
+	FDML_BENCH_DIR=$(CURDIR)/bench $(GO) test -count=1 -run TestKernelBenchJSON -v ./internal/likelihood/
+
+# Regression gate: re-measure the kernels and diff against the committed
+# baseline (BENCH_baseline_kernels.json, captured before the SoA/AVX2
+# kernel rewrite). Fails when any kernel is >10% slower than baseline;
+# the stdout table is markdown, ready for a CI job summary.
+bench-compare:
+	FDML_BENCH_DIR=$(CURDIR)/bench $(GO) test -count=1 -run TestKernelBenchJSON ./internal/likelihood/
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline_kernels.json -current bench/BENCH_kernels.json -max-regress 0.10
 
 # The chaos soaks under the race detector: elastic membership, plus
 # concurrent jumbles multiplexed over a churning fleet. The membership
 # soak's BENCH_*.json report lands in bench/ (CI uploads it).
 chaos-soak:
-	FDML_BENCH_DIR=bench $(GO) test -race -count=1 -run 'TestTCPChaosSoak|TestConcurrentTCPChaosSoak' ./internal/mlsearch/
+	FDML_BENCH_DIR=$(CURDIR)/bench $(GO) test -race -count=1 -run 'TestTCPChaosSoak|TestConcurrentTCPChaosSoak' ./internal/mlsearch/

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/likelihood"
 	"repro/internal/mlsearch"
 	"repro/internal/obs"
 )
@@ -28,6 +29,7 @@ func main() {
 		seed       = flag.Int64("flaky-seed", 1, "seed for -flaky")
 		statusAddr = flag.String("status-addr", "", "serve /metrics, /status, and /debug/pprof on this address")
 		threads    = flag.Int("threads", 1, "likelihood kernel threads (results are bit-identical at any count)")
+		precision  = flag.String("precision", "", "CLV storage precision: float64 or float32 (default: whatever the master's data bundle requests)")
 	)
 	flag.Parse()
 	if *connect == "" {
@@ -41,6 +43,14 @@ func main() {
 		os.Exit(2)
 	}
 	hooks := mlsearch.WorkerHooks{Threads: *threads}
+	if *precision != "" {
+		prec, err := likelihood.ParsePrecision(*precision)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdworker:", err)
+			os.Exit(2)
+		}
+		hooks.Precision, hooks.PrecisionSet = prec, true
+	}
 	if *statusAddr != "" {
 		reg := obs.NewRegistry()
 		wobs := mlsearch.NewWorkerObserver(reg)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/likelihood"
 	"repro/internal/mlsearch"
 	"repro/internal/model"
 	"repro/internal/seq"
@@ -62,6 +63,11 @@ type Options struct {
 	// evaluator (default 1). Any value yields bit-identical trees and
 	// likelihoods: the engine's sharding is deterministic.
 	Threads int
+	// Precision selects the CLV storage format: "float64" (or "64",
+	// "double", "f64", "" — the exact default) or "float32" (or "32",
+	// "single", "f32"), which halves CLV memory traffic at the documented
+	// accuracy tolerance (likelihood.Float32*Tol).
+	Precision string
 	// Pipeline is the number of tasks the foreman keeps in flight per
 	// worker in parallel runs (default 2; 1 restores the paper's
 	// one-task-per-worker dispatch).
@@ -154,6 +160,10 @@ func Prepare(a *seq.Alignment, opt Options) (mlsearch.Config, Options, error) {
 	if err != nil {
 		return mlsearch.Config{}, opt, err
 	}
+	prec, err := likelihood.ParsePrecision(opt.Precision)
+	if err != nil {
+		return mlsearch.Config{}, opt, err
+	}
 	cfg := mlsearch.Config{
 		Taxa:            a.Names,
 		Patterns:        pat,
@@ -163,6 +173,7 @@ func Prepare(a *seq.Alignment, opt Options) (mlsearch.Config, Options, error) {
 		FinalExtent:     opt.FinalExtent,
 		AdaptiveExtent:  opt.AdaptiveExtent,
 		Threads:         opt.Threads,
+		Precision:       prec,
 	}
 	return cfg, opt, nil
 }

@@ -22,6 +22,11 @@ func TestKernelBenchJSON(t *testing.T) {
 		t.Skip("set FDML_BENCH_DIR to emit BENCH_kernels.json")
 	}
 	start := time.Now()
+	// Each kernel/thread-count point is measured benchReps times and the
+	// minimum ns/op recorded: single testing.Benchmark samples swing
+	// ±15% on shared runners, and best-of-N is the stablest estimator of
+	// the kernel's true cost for the regression gate to diff against.
+	const benchReps = 3
 	// zeroAlloc marks the kernels with a zero-alloc steady-state
 	// guarantee; full_smooth walks the tree with per-pass bookkeeping
 	// and is measured without the assertion.
@@ -34,9 +39,22 @@ func TestKernelBenchJSON(t *testing.T) {
 		{"newton_edge", benchNewton, true},
 		{"full_smooth", benchSmooth, false},
 	}
+	// The calibration workload is a fixed, dependent float64 chain: pure
+	// CPU speed, no memory or threading effects. benchdiff divides the
+	// kernel timings by it before applying the regression limit, so a
+	// shared runner that is globally 20% slower today than when the
+	// baseline was captured does not read as 20% of kernel regression.
+	cal := testing.Benchmark(benchCalibration)
+	for rep := 1; rep < benchReps; rep++ {
+		if rr := testing.Benchmark(benchCalibration); rr.NsPerOp() < cal.NsPerOp() {
+			cal = rr
+		}
+	}
+	t.Logf("calibration: %v/op", cal.NsPerOp())
 	totals := map[string]float64{
-		"num_cpu":    float64(runtime.NumCPU()),
-		"gomaxprocs": float64(runtime.GOMAXPROCS(0)),
+		"num_cpu":        float64(runtime.NumCPU()),
+		"gomaxprocs":     float64(runtime.GOMAXPROCS(0)),
+		"calibration_ns": float64(cal.NsPerOp()),
 	}
 	details := map[string]any{}
 	for _, k := range kernels {
@@ -45,6 +63,11 @@ func TestKernelBenchJSON(t *testing.T) {
 		for _, n := range benchThreadCounts {
 			n := n
 			r := testing.Benchmark(func(b *testing.B) { k.fn(b, n) })
+			for rep := 1; rep < benchReps; rep++ {
+				if rr := testing.Benchmark(func(b *testing.B) { k.fn(b, n) }); rr.NsPerOp() < r.NsPerOp() {
+					r = rr
+				}
+			}
 			ns := float64(r.NsPerOp())
 			if n == 1 {
 				serialNs = ns
@@ -64,6 +87,9 @@ func TestKernelBenchJSON(t *testing.T) {
 		}
 		details[k.name] = per
 	}
+	if calSink == 0 {
+		t.Error("calibration sink unexpectedly zero")
+	}
 	path, err := obs.WriteBench(dir, obs.BenchReport{
 		Run:       "kernels",
 		StartedAt: start,
@@ -74,4 +100,21 @@ func TestKernelBenchJSON(t *testing.T) {
 		t.Fatalf("bench report: %v", err)
 	}
 	t.Logf("wrote %s", path)
+}
+
+// calSink defeats dead-code elimination of the calibration chain.
+var calSink float64
+
+// benchCalibration is the machine-speed reference for benchdiff's
+// normalization: a serially dependent multiply/add chain whose cost is
+// set purely by single-core CPU speed.
+func benchCalibration(b *testing.B) {
+	s, y := 0.0, 1.0
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 4096; j++ {
+			y = y*1.0000001 + 1e-9
+			s += y
+		}
+	}
+	calSink = s
 }

@@ -107,13 +107,12 @@ func (s *EngineStats) UnmarshalJSON(data []byte) error {
 }
 
 // kidRef records one child combined into an entry: which node, the
-// generation of its CLV at combine time, and (during a fill) the vectors
-// and branch length to combine.
+// generation of its CLV at combine time, and (during a fill) the vector
+// view and branch length to combine.
 type kidRef struct {
 	node *tree.Node
 	gen  uint64
-	clv  []float64
-	sc   []int32
+	ref  clvRef
 	z    float64
 }
 
@@ -122,11 +121,10 @@ type clvEntry struct {
 	node    *tree.Node
 	parent  *tree.Node
 	nodeRev uint64
-	kids    []kidRef // children validated at fill time (clv/sc not retained)
+	kids    []kidRef // children validated at fill time (refs not retained)
 	gen     uint64
 	filled  bool
-	clv     []float64
-	scale   []int32
+	ref     clvRef   // slab-backed buffers; ref.sc == nil until first fill
 	tmp     []kidRef // per-traversal scratch, reused
 }
 
@@ -136,32 +134,57 @@ type clvCache struct {
 	byNode [][]*clvEntry
 	gen    uint64
 
+	// Buffer geometry: every CLV buffer is 4 SoA lanes of npad entries
+	// (the engine's padded pattern count) at the engine's precision.
+	npad int
+	prec Precision
+
 	// Slab arena for entry buffers: CLV and scale vectors are carved out
 	// of shared slabs (clvSlabEntries entries per slab) instead of being
 	// allocated one make() pair per entry, so growing a tree allocates
 	// O(taxa / slabEntries) times rather than O(taxa) and steady-state
-	// evaluation allocates nothing.
-	slabF []float64
-	slabI []int32
+	// evaluation allocates nothing. One float slab per precision; only
+	// the engine's own is ever populated.
+	slabF   []float64
+	slabF32 []float32
+	slabI   []int32
 }
 
 // clvSlabEntries is how many entries' worth of buffers one slab holds.
 const clvSlabEntries = 16
 
-// allocCLV carves one entry's CLV and scale buffers from the slabs.
-func (c *clvCache) allocCLV(npat int) ([]float64, []int32) {
-	nf, ni := npat*4, npat
-	if cap(c.slabF)-len(c.slabF) < nf {
-		c.slabF = make([]float64, 0, nf*clvSlabEntries)
+// init records the buffer geometry the slabs must serve.
+func (c *clvCache) init(npad int, prec Precision) {
+	c.npad = npad
+	c.prec = prec
+}
+
+// allocCLV carves one entry's CLV and scale buffers from the slabs,
+// sized for the padded SoA layout (4 lanes of npad each). Slab memory
+// comes from make() and padded tail entries are never written, so
+// padding stays exactly zero for the buffer's lifetime.
+func (c *clvCache) allocCLV() clvRef {
+	nf, ni := c.npad*4, c.npad
+	var ref clvRef
+	if c.prec == Float32 {
+		if cap(c.slabF32)-len(c.slabF32) < nf {
+			c.slabF32 = make([]float32, 0, nf*clvSlabEntries)
+		}
+		ref.f32 = c.slabF32[len(c.slabF32) : len(c.slabF32)+nf : len(c.slabF32)+nf]
+		c.slabF32 = c.slabF32[:len(c.slabF32)+nf]
+	} else {
+		if cap(c.slabF)-len(c.slabF) < nf {
+			c.slabF = make([]float64, 0, nf*clvSlabEntries)
+		}
+		ref.f64 = c.slabF[len(c.slabF) : len(c.slabF)+nf : len(c.slabF)+nf]
+		c.slabF = c.slabF[:len(c.slabF)+nf]
 	}
 	if cap(c.slabI)-len(c.slabI) < ni {
 		c.slabI = make([]int32, 0, ni*clvSlabEntries)
 	}
-	clv := c.slabF[len(c.slabF) : len(c.slabF)+nf : len(c.slabF)+nf]
-	c.slabF = c.slabF[:len(c.slabF)+nf]
-	sc := c.slabI[len(c.slabI) : len(c.slabI)+ni : len(c.slabI)+ni]
+	ref.sc = c.slabI[len(c.slabI) : len(c.slabI)+ni : len(c.slabI)+ni]
 	c.slabI = c.slabI[:len(c.slabI)+ni]
-	return clv, sc
+	return ref
 }
 
 func (c *clvCache) nextGen() uint64 {

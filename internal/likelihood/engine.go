@@ -11,7 +11,13 @@
 // or a locally-edited tree only recompute the vectors whose subtree or
 // incident branch lengths changed. Patterns are permuted at construction
 // into contiguous rate-class blocks so the inner loops hoist the
-// transition-matrix lookup out of the per-pattern loop.
+// transition-matrix lookup out of the per-pattern loop, and CLVs are
+// stored structure-of-arrays — one contiguous lane per nucleotide state,
+// rate-class blocks padded to a fixed multiple — so the hot kernels
+// (kernels.go) run as straight-line, bounds-check-free loops over
+// parallel arrays. An optional float32 CLV mode (NewWithPrecision) halves
+// memory traffic behind the same entry points; float64 stays the default
+// and the bit-identity reference.
 package likelihood
 
 import (
@@ -27,7 +33,8 @@ import (
 
 // Scaling constants: conditional likelihoods below scaleThreshold are
 // multiplied by scaleFactor and the event is counted; the log-likelihood
-// is corrected by count*logScale at the root.
+// is corrected by count*logScale at the root. (Float32 engines use the
+// more aggressive scaleThreshold32/scaleFactor32 from precision.go.)
 const (
 	scaleThreshold = 1e-100
 	scaleFactor    = 1e100
@@ -51,11 +58,31 @@ const (
 	newtonTol = 1e-7
 )
 
+// clvBlock is the pattern-count multiple each rate-class block is padded
+// to in the SoA layout: every block's lanes start at an index divisible
+// by clvBlock, so a vectorizing compiler (or a future SIMD kernel) sees
+// aligned, whole-vector runs. 8 float64s is one 64-byte cache line.
+const clvBlock = 8
+
 // classBlock is a contiguous run of (permuted) patterns sharing one rate
-// class, so kernels look the transition matrix up once per block.
+// class, so kernels look the transition matrix up once per block. plo is
+// the block's starting index on the padded pattern axis; the block
+// occupies padded indices [plo, plo+(hi-lo)) with the remainder up to
+// the next multiple of clvBlock as zero-filled padding.
 type classBlock struct {
 	ci     int // rate class index
 	lo, hi int // permuted pattern index range [lo, hi)
+	plo    int // padded start index (multiple of clvBlock)
+}
+
+// clvRef is a precision-tagged view of one conditional likelihood
+// vector in the SoA layout: exactly one of f64/f32 is non-nil, matching
+// the owning engine's precision, and holds 4*npad entries (four state
+// lanes of npad each). sc is the per-padded-pattern scale count vector.
+type clvRef struct {
+	f64 []float64
+	f32 []float32
+	sc  []int32
 }
 
 // Engine computes log-likelihoods of trees over one fixed data set and
@@ -69,22 +96,49 @@ type Engine struct {
 
 	// rate classes: distinct per-pattern rates, patterns permuted into
 	// contiguous class blocks. perm maps internal (permuted) pattern
-	// index to the original index in pat; weights/tips are permuted.
+	// index to the original index in pat; weights/tips are permuted and
+	// live on the padded pattern axis.
 	classRates []float64
 	blocks     []classBlock
 	perm       []int
-	weights    []float64
-	npat       int
+	npat       int // real (permuted) pattern count
+	npad       int // padded pattern count (blocks rounded up to clvBlock)
 
-	// tip conditional likelihoods per taxon: flat [pattern*4+base] in
-	// permuted pattern order, 1 when the observed code is compatible
-	// with the base. zeroScale is the shared all-zero scale vector tips
-	// report (tips never underflow).
+	// Padded-axis data: weights holds the pattern weights at padded
+	// positions (padding entries 0); origOfPad maps a padded index back
+	// to the original pattern index in pat (-1 for padding).
+	weights   []float64
+	origOfPad []int
+
+	// prec selects the CLV storage format; logScaleV is the active
+	// per-scaling-event log-likelihood correction.
+	prec      Precision
+	logScaleV float64
+
+	// tip conditional likelihoods per taxon in SoA lanes over the padded
+	// axis (one of the two sets is populated, per prec): 1 when the
+	// observed code is compatible with the base, 0 in padding. zeroScale
+	// is the shared all-zero scale vector tips report (tips never
+	// underflow).
 	tips      [][]float64
+	tips32    [][]float32
 	zeroScale []int32
 
-	// scratch transition matrices, one per rate class.
+	// scratch transition matrices, one per rate class. pmat32 mirrors
+	// pmat in float32 for Float32 pruning combines (reductions always
+	// use the float64 matrices). pmatB/pmat32B hold the second child's
+	// matrices during the fused two-child combine.
 	pmat, dmat, ddmat []model.PMatrix
+	pmatB             []model.PMatrix
+	pmat32            [][4][4]float32
+	pmat32B           [][4][4]float32
+
+	// bc2 is the pre-broadcast coefficient table per rate class consumed
+	// by the AVX2 fused combine (kernels_amd64.s): rows 0-15 Ma, 16-31 Mb
+	// (each coefficient repeated across a 4-wide row), row 32 the rescale
+	// threshold. Allocated only for float64 engines on AVX2 hardware; nil
+	// selects the scalar kernel.
+	bc2 [][33][4]float64
 
 	// cache memoizes directed-edge CLVs; stats counts its behaviour.
 	cache clvCache
@@ -104,18 +158,18 @@ type Engine struct {
 	// of the data), the persistent goroutine pool (nil when threads <= 1),
 	// the engine-held kernel arguments, and the per-shard reduction
 	// partials summed in shard index order.
-	threads          int
-	shards           []shard
-	pool             *shardPool
-	kern             kernArgs
+	threads           int
+	shards            []shard
+	pool              *shardPool
+	kern              kernArgs
 	shLnL, shD1, shD2 []float64
 
 	// Arena scratch reused across evaluations: the per-pattern site
-	// vector SiteLogLikelihoods fills (siteBuf) and the four junction
-	// vectors insertion scoring needs (ins*). Both are lazily sized once.
-	siteBuf           []float64
-	insJclv, insRest  []float64
-	insJsc, insRestSc []int32
+	// vector SiteLogLikelihoods fills (siteBuf) and the two junction
+	// vectors insertion scoring needs (insJ/insRest). Both are lazily
+	// sized once.
+	siteBuf       []float64
+	insJ, insRest clvRef
 }
 
 // beginEval starts the stats clock for a public evaluation entry point;
@@ -138,8 +192,18 @@ func (e *Engine) endEval(start time.Time) {
 	}
 }
 
-// New builds an engine for the given model and compressed patterns.
+// New builds a float64 (exact-mode) engine for the given model and
+// compressed patterns.
 func New(m model.Model, p *seq.Patterns) (*Engine, error) {
+	return NewWithPrecision(m, p, Float64)
+}
+
+// NewWithPrecision builds an engine whose conditional likelihood vectors
+// are stored at the given precision. Float64 is exact mode; Float32
+// trades a documented accuracy tolerance (precision.go) for half the CLV
+// memory traffic. Reductions (log-likelihood, Newton derivatives) always
+// accumulate in float64 regardless of precision.
+func NewWithPrecision(m model.Model, p *seq.Patterns, prec Precision) (*Engine, error) {
 	if p.NumPatterns() == 0 {
 		return nil, fmt.Errorf("likelihood: empty pattern set")
 	}
@@ -149,6 +213,12 @@ func New(m model.Model, p *seq.Patterns) (*Engine, error) {
 		freqs:  m.Freqs(),
 		decomp: m.Decomposition(),
 		npat:   p.NumPatterns(),
+		prec:   prec,
+	}
+	if prec == Float32 {
+		e.logScaleV = logScale32
+	} else {
+		e.logScaleV = logScale
 	}
 	// Group patterns into rate classes.
 	classIdx := make(map[float64]int)
@@ -163,8 +233,18 @@ func New(m model.Model, p *seq.Patterns) (*Engine, error) {
 		classOf[i] = ci
 	}
 	e.pmat = make([]model.PMatrix, len(e.classRates))
+	e.pmatB = make([]model.PMatrix, len(e.classRates))
 	e.dmat = make([]model.PMatrix, len(e.classRates))
 	e.ddmat = make([]model.PMatrix, len(e.classRates))
+	if prec == Float32 {
+		e.pmat32 = make([][4][4]float32, len(e.classRates))
+		e.pmat32B = make([][4][4]float32, len(e.classRates))
+	} else if useAVX2 {
+		e.bc2 = make([][33][4]float64, len(e.classRates))
+		for ci := range e.bc2 {
+			e.bc2[ci][32] = [4]float64{scaleThreshold, scaleThreshold, scaleThreshold, scaleThreshold}
+		}
+	}
 
 	// Permute patterns so each rate class is one contiguous block; the
 	// stable sort keeps the original relative order within a class.
@@ -175,10 +255,6 @@ func New(m model.Model, p *seq.Patterns) (*Engine, error) {
 	sort.SliceStable(e.perm, func(i, j int) bool {
 		return classOf[e.perm[i]] < classOf[e.perm[j]]
 	})
-	e.weights = make([]float64, e.npat)
-	for s, orig := range e.perm {
-		e.weights[s] = p.Weights[orig]
-	}
 	lo := 0
 	for s := 1; s <= e.npat; s++ {
 		if s == e.npat || classOf[e.perm[s]] != classOf[e.perm[lo]] {
@@ -186,31 +262,81 @@ func New(m model.Model, p *seq.Patterns) (*Engine, error) {
 			lo = s
 		}
 	}
+	// Assign padded block starts: each block's lane segment begins at a
+	// multiple of clvBlock, with zero-filled padding to the next one.
+	pad := 0
+	for i := range e.blocks {
+		e.blocks[i].plo = pad
+		n := e.blocks[i].hi - e.blocks[i].lo
+		pad += (n + clvBlock - 1) / clvBlock * clvBlock
+	}
+	e.npad = pad
 
-	// Tip vectors, in permuted pattern order.
-	e.tips = make([][]float64, p.NumSeqs())
+	// Weights and the padded->original index map.
+	e.weights = make([]float64, e.npad)
+	e.origOfPad = make([]int, e.npad)
+	for i := range e.origOfPad {
+		e.origOfPad[i] = -1
+	}
+	for _, blk := range e.blocks {
+		for s := blk.lo; s < blk.hi; s++ {
+			i := blk.plo + (s - blk.lo)
+			e.weights[i] = p.Weights[e.perm[s]]
+			e.origOfPad[i] = e.perm[s]
+		}
+	}
+
+	// Tip vectors: SoA lanes over the padded axis. Padding entries stay
+	// exactly zero forever — combines propagate 0 and rescaling skips
+	// non-positive maxima — so padded tails never produce scaling events
+	// or NaNs.
+	if prec == Float32 {
+		e.tips32 = make([][]float32, p.NumSeqs())
+	} else {
+		e.tips = make([][]float64, p.NumSeqs())
+	}
 	for taxon := 0; taxon < p.NumSeqs(); taxon++ {
-		v := make([]float64, e.npat*4)
-		for s := 0; s < e.npat; s++ {
-			c := p.Codes[taxon][e.perm[s]]
-			for b := 0; b < 4; b++ {
-				if c&(1<<uint(b)) != 0 {
-					v[s*4+b] = 1
+		var v64 []float64
+		var v32 []float32
+		if prec == Float32 {
+			v32 = make([]float32, 4*e.npad)
+		} else {
+			v64 = make([]float64, 4*e.npad)
+		}
+		for _, blk := range e.blocks {
+			for s := blk.lo; s < blk.hi; s++ {
+				i := blk.plo + (s - blk.lo)
+				c := p.Codes[taxon][e.perm[s]]
+				for b := 0; b < 4; b++ {
+					if c&(1<<uint(b)) != 0 {
+						if prec == Float32 {
+							v32[b*e.npad+i] = 1
+						} else {
+							v64[b*e.npad+i] = 1
+						}
+					}
 				}
 			}
 		}
-		e.tips[taxon] = v
+		if prec == Float32 {
+			e.tips32[taxon] = v32
+		} else {
+			e.tips[taxon] = v64
+		}
 	}
-	e.zeroScale = make([]int32, e.npat)
+	e.zeroScale = make([]int32, e.npad)
 
 	// Shard layout and reduction partials (shard.go). The layout depends
-	// only on the data, so every thread count — including 1 — reduces in
-	// the same order and produces bit-identical results.
+	// only on the data — the same real-pattern cut points as ever, so
+	// reduction grouping (and therefore every float64 bit) is unchanged
+	// from the interleaved engine — and every thread count reduces in
+	// the same order.
 	e.shards = buildShards(e.blocks, e.npat)
 	e.shLnL = make([]float64, len(e.shards))
 	e.shD1 = make([]float64, len(e.shards))
 	e.shD2 = make([]float64, len(e.shards))
 	e.threads = 1
+	e.cache.init(e.npad, prec)
 	return e, nil
 }
 
@@ -219,6 +345,9 @@ func (e *Engine) Model() model.Model { return e.mdl }
 
 // Patterns returns the engine's data set.
 func (e *Engine) Patterns() *seq.Patterns { return e.pat }
+
+// Precision returns the engine's CLV storage precision.
+func (e *Engine) Precision() Precision { return e.prec }
 
 // Ops returns the cumulative pattern-level work counter.
 func (e *Engine) Ops() uint64 { return e.ops }
@@ -235,14 +364,45 @@ func (e *Engine) ensureBuffers(n int) {
 	e.cache.grow(n)
 }
 
-// fillProbs computes the per-class transition matrices for branch length z.
+// tipRef returns the tip CLV view for a taxon at the engine's precision.
+func (e *Engine) tipRef(taxon int) clvRef {
+	if e.prec == Float32 {
+		return clvRef{f32: e.tips32[taxon], sc: e.zeroScale}
+	}
+	return clvRef{f64: e.tips[taxon], sc: e.zeroScale}
+}
+
+// fillProbs computes the per-class transition matrices for branch length
+// z, mirroring them into float32 when the engine stores float32 CLVs.
 func (e *Engine) fillProbs(z float64) {
+	e.fillProbsInto(e.pmat, e.pmat32, z)
+}
+
+// fillProbsB fills the second matrix set used by the two-child fused
+// combine (combine2Into needs both edges' matrices live at once).
+func (e *Engine) fillProbsB(z float64) {
+	e.fillProbsInto(e.pmatB, e.pmat32B, z)
+}
+
+func (e *Engine) fillProbsInto(dst []model.PMatrix, dst32 [][4][4]float32, z float64) {
 	for ci, r := range e.classRates {
-		e.decomp.Probs(z, r, &e.pmat[ci])
+		e.decomp.Probs(z, r, &dst[ci])
+	}
+	if e.prec == Float32 {
+		for ci := range dst {
+			src := &dst[ci]
+			d := &dst32[ci]
+			for i := 0; i < 4; i++ {
+				for j := 0; j < 4; j++ {
+					d[i][j] = float32(src[i][j])
+				}
+			}
+		}
 	}
 }
 
 // fillProbsDeriv computes matrices and derivatives for branch length z.
+// Derivative kernels reduce in float64, so no float32 mirror is needed.
 func (e *Engine) fillProbsDeriv(z float64) {
 	for ci, r := range e.classRates {
 		e.decomp.ProbsDeriv(z, r, &e.pmat[ci], &e.dmat[ci], &e.ddmat[ci])
@@ -262,38 +422,63 @@ func clampLen(z float64) float64 {
 
 // combineInto multiplies (or, when first, assigns) P(z)·src into dst for
 // every pattern, accumulating scale counts. One call is one child-edge
-// combine of Felsenstein pruning: 16 pattern-level ops per pattern.
-func (e *Engine) combineInto(dst []float64, dsc []int32, src []float64, ssc []int32, z float64, first bool) {
+// combine of Felsenstein pruning: 16 pattern-level ops per pattern. With
+// resc set — the last combine of a pruning step — underflow rescaling is
+// fused into the same pass: the final values are checked and scaled in
+// registers before the store, saving a whole read-modify-write sweep of
+// dst per CLV fill (bit-identical to a separate rescale pass).
+func (e *Engine) combineInto(dst, src clvRef, z float64, first, resc bool) {
 	e.fillProbs(clampLen(z))
 	e.ops += uint64(e.npat) * 16
 	k := &e.kern
-	if first {
+	switch {
+	case first && resc:
+		k.op = kCombineFirstResc
+	case first:
 		k.op = kCombineFirst
-	} else {
+	case resc:
+		k.op = kCombineMulResc
+	default:
 		k.op = kCombineMul
 	}
-	k.dst, k.dsc, k.src, k.ssc = dst, dsc, src, ssc
+	k.dst, k.src = dst, src
 	e.runShards()
 }
 
-// rescale applies underflow protection (paper §2.1) to a CLV in place:
-// tiny pattern vectors are multiplied up and the event counted.
-func (e *Engine) rescale(clv []float64, sc []int32) {
+// combine2Into performs a complete binary pruning step — the common case
+// of an inner node with exactly two children — in a single kernel pass:
+// dst = (P(za)·a) ⊙ (P(zb)·b) with rescaling fused, never materializing
+// the first child's product. Bit-identical to the first/mul sequence.
+func (e *Engine) combine2Into(dst, a, b clvRef, za, zb float64) {
+	e.fillProbs(clampLen(za))
+	e.fillProbsB(clampLen(zb))
+	for ci := range e.bc2 {
+		t := &e.bc2[ci]
+		pa, pb := &e.pmat[ci], &e.pmatB[ci]
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 4; k++ {
+				va, vb := pa[j][k], pb[j][k]
+				t[j*4+k] = [4]float64{va, va, va, va}
+				t[16+j*4+k] = [4]float64{vb, vb, vb, vb}
+			}
+		}
+	}
+	e.ops += uint64(e.npat) * 32
 	k := &e.kern
-	k.op = kRescale
-	k.dst, k.dsc = clv, sc
+	k.op = kCombine2
+	k.dst, k.src, k.src2 = dst, a, b
 	e.runShards()
 }
 
 // partial returns the conditional likelihood vector of the subtree at n
-// seen from parent (the "down" view of directed edge parent->n), its
-// scale counts, and its cache generation. Results come from the CLV cache
-// when the subtree is unchanged; only stale vectors are recombined. The
-// returned slices are owned by the cache and valid until the next fill of
-// the same directed edge.
-func (e *Engine) partial(n, parent *tree.Node) ([]float64, []int32, uint64) {
+// seen from parent (the "down" view of directed edge parent->n) and its
+// cache generation. Results come from the CLV cache when the subtree is
+// unchanged; only stale vectors are recombined. The returned buffers are
+// owned by the cache and valid until the next fill of the same directed
+// edge.
+func (e *Engine) partial(n, parent *tree.Node) (clvRef, uint64) {
 	if n.Leaf() {
-		return e.tips[n.Taxon], e.zeroScale, tipGen
+		return e.tipRef(n.Taxon), tipGen
 	}
 	ent := e.cache.entryFor(n, parent)
 	valid := ent.filled && ent.nodeRev == n.Rev()
@@ -309,8 +494,8 @@ func (e *Engine) partial(n, parent *tree.Node) ([]float64, []int32, uint64) {
 		if child == parent {
 			continue
 		}
-		cclv, csc, cgen := e.partial(child, n)
-		tmp = append(tmp, kidRef{node: child, gen: cgen, clv: cclv, sc: csc, z: n.Len[i]})
+		cref, cgen := e.partial(child, n)
+		tmp = append(tmp, kidRef{node: child, gen: cgen, ref: cref, z: n.Len[i]})
 	}
 	for i := 1; i < len(tmp); i++ {
 		for j := i; j > 0 && tmp[j].node.ID < tmp[j-1].node.ID; j-- {
@@ -330,18 +515,22 @@ func (e *Engine) partial(n, parent *tree.Node) ([]float64, []int32, uint64) {
 	}
 	if valid {
 		e.stats.Hits++
-		return ent.clv, ent.scale, ent.gen
+		return ent.ref, ent.gen
 	}
 	e.stats.Misses++
 	e.stats.Recomputed++
 
-	if ent.clv == nil {
-		ent.clv, ent.scale = e.cache.allocCLV(e.npat)
+	if ent.ref.sc == nil {
+		ent.ref = e.cache.allocCLV()
 	}
-	for i := range tmp {
-		e.combineInto(ent.clv, ent.scale, tmp[i].clv, tmp[i].sc, tmp[i].z, i == 0)
+	if len(tmp) == 2 {
+		// Bifurcating inner node: one fused kernel pass for the whole fill.
+		e.combine2Into(ent.ref, tmp[0].ref, tmp[1].ref, tmp[0].z, tmp[1].z)
+	} else {
+		for i := range tmp {
+			e.combineInto(ent.ref, tmp[i].ref, tmp[i].z, i == 0, i == len(tmp)-1)
+		}
 	}
-	e.rescale(ent.clv, ent.scale)
 
 	ent.nodeRev = n.Rev()
 	ent.kids = ent.kids[:0]
@@ -352,24 +541,24 @@ func (e *Engine) partial(n, parent *tree.Node) ([]float64, []int32, uint64) {
 	}
 	ent.gen = e.cache.nextGen()
 	ent.filled = true
-	return ent.clv, ent.scale, ent.gen
+	return ent.ref, ent.gen
 }
 
 // downPartial is the uncached-era name for partial, kept for in-package
-// tests; it returns the (possibly cached) directed-edge CLV.
-func (e *Engine) downPartial(n, parent *tree.Node) ([]float64, []int32) {
-	clv, sc, _ := e.partial(n, parent)
-	return clv, sc
+// tests; it returns the (possibly cached) directed-edge CLV view.
+func (e *Engine) downPartial(n, parent *tree.Node) clvRef {
+	ref, _ := e.partial(n, parent)
+	return ref
 }
 
 // edgeLogLikelihood combines the two directed partials of edge (a,b) at
 // branch length z into the total log-likelihood.
-func (e *Engine) edgeLogLikelihood(aclv []float64, asc []int32, bclv []float64, bsc []int32, z float64) float64 {
+func (e *Engine) edgeLogLikelihood(a, b clvRef, z float64) float64 {
 	e.fillProbs(clampLen(z))
 	e.ops += uint64(e.npat) * 20
 	k := &e.kern
 	k.op = kEdgeLnL
-	k.aclv, k.asc, k.bclv, k.bsc = aclv, asc, bclv, bsc
+	k.a, k.b = a, b
 	e.runShards()
 	// Ordered reduction: per-shard partials summed in shard index order,
 	// independent of which thread computed them.
@@ -395,9 +584,9 @@ func (e *Engine) LogLikelihood(t *tree.Tree) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("likelihood: tree has no edges")
 	}
-	aclv, asc, _ := e.partial(ed.A, ed.B)
-	bclv, bsc, _ := e.partial(ed.B, ed.A)
-	return e.edgeLogLikelihood(aclv, asc, bclv, bsc, ed.Length()), nil
+	a, _ := e.partial(ed.A, ed.B)
+	b, _ := e.partial(ed.B, ed.A)
+	return e.edgeLogLikelihood(a, b, ed.Length()), nil
 }
 
 // SiteLogLikelihoods returns the per-pattern log-likelihoods of the tree
@@ -415,15 +604,15 @@ func (e *Engine) SiteLogLikelihoods(t *tree.Tree) ([]float64, error) {
 	if !ok {
 		return nil, fmt.Errorf("likelihood: tree has no edges")
 	}
-	aclv, asc, _ := e.partial(ed.A, ed.B)
-	bclv, bsc, _ := e.partial(ed.B, ed.A)
+	a, _ := e.partial(ed.A, ed.B)
+	b, _ := e.partial(ed.B, ed.A)
 	e.fillProbs(clampLen(ed.Length()))
 	if e.siteBuf == nil {
 		e.siteBuf = make([]float64, e.npat)
 	}
 	k := &e.kern
 	k.op = kSiteLnL
-	k.aclv, k.asc, k.bclv, k.bsc, k.out = aclv, asc, bclv, bsc, e.siteBuf
+	k.a, k.b, k.out = a, b, e.siteBuf
 	e.runShards()
 	return e.siteBuf, nil
 }

@@ -211,12 +211,14 @@ func TestRerootingInvariance(t *testing.T) {
 	e.ensureBuffers(tr.MaxID())
 	var vals []float64
 	for _, ed := range tr.Edges() {
-		aclv, asc := e.downPartial(ed.A, ed.B)
+		a := e.downPartial(ed.A, ed.B)
 		// downPartial reuses buffers; copy side A before computing B.
-		ac := append([]float64(nil), aclv...)
-		as := append([]int32(nil), asc...)
-		bclv, bsc := e.downPartial(ed.B, ed.A)
-		vals = append(vals, e.edgeLogLikelihood(ac, as, bclv, bsc, ed.Length()))
+		ac := clvRef{
+			f64: append([]float64(nil), a.f64...),
+			sc:  append([]int32(nil), a.sc...),
+		}
+		b := e.downPartial(ed.B, ed.A)
+		vals = append(vals, e.edgeLogLikelihood(ac, b, ed.Length()))
 	}
 	for i := 1; i < len(vals); i++ {
 		if math.Abs(vals[i]-vals[0]) > 1e-8*math.Abs(vals[0]) {
@@ -436,15 +438,17 @@ func TestEdgeDerivativesFiniteDifference(t *testing.T) {
 	tr, _ := tree.RandomTree(taxaNames(4), rng, 0.2)
 	e.ensureBuffers(tr.MaxID())
 	ed := tr.Edges()[0]
-	aclv, asc := e.downPartial(ed.A, ed.B)
-	ac := append([]float64(nil), aclv...)
-	as := append([]int32(nil), asc...)
-	bclv, bsc := e.downPartial(ed.B, ed.A)
+	a := e.downPartial(ed.A, ed.B)
+	ac := clvRef{
+		f64: append([]float64(nil), a.f64...),
+		sc:  append([]int32(nil), a.sc...),
+	}
+	b := e.downPartial(ed.B, ed.A)
 
 	z := 0.13
 	const h = 1e-6
-	f := func(z float64) float64 { return e.edgeLogLikelihood(ac, as, bclv, bsc, z) }
-	d1, d2, lnl := e.edgeDerivatives(ac, as, bclv, bsc, z)
+	f := func(z float64) float64 { return e.edgeLogLikelihood(ac, b, z) }
+	d1, d2, lnl := e.edgeDerivatives(ac, b, z)
 	fd1 := (f(z+h) - f(z-h)) / (2 * h)
 	fd2 := (f(z+h) - 2*f(z) + f(z-h)) / (h * h)
 	if math.Abs(d1-fd1) > 1e-4*(1+math.Abs(fd1)) {

@@ -39,8 +39,7 @@ type InsertScorer struct {
 
 	// junction and rest-of-junction scratch vectors, views into the
 	// engine arena, reused per call (and across scorers).
-	jclv, rest  []float64
-	jsc, restSc []int32
+	j, rest clvRef
 }
 
 // NewInsertScorer prepares scoring of candidate insertions of taxon into
@@ -56,16 +55,20 @@ func (e *Engine) NewInsertScorer(base *tree.Tree, taxon int) (*InsertScorer, err
 		return nil, fmt.Errorf("likelihood: taxon %d already in base tree", taxon)
 	}
 	e.ensureBuffers(base.MaxID())
-	if e.insJclv == nil {
-		e.insJclv = make([]float64, e.npat*4)
-		e.insRest = make([]float64, e.npat*4)
-		e.insJsc = make([]int32, e.npat)
-		e.insRestSc = make([]int32, e.npat)
+	if e.insJ.sc == nil {
+		e.insJ.sc = make([]int32, e.npad)
+		e.insRest.sc = make([]int32, e.npad)
+		if e.prec == Float32 {
+			e.insJ.f32 = make([]float32, 4*e.npad)
+			e.insRest.f32 = make([]float32, 4*e.npad)
+		} else {
+			e.insJ.f64 = make([]float64, 4*e.npad)
+			e.insRest.f64 = make([]float64, 4*e.npad)
+		}
 	}
 	return &InsertScorer{
 		e: e, t: base, taxon: taxon,
-		jclv: e.insJclv, jsc: e.insJsc,
-		rest: e.insRest, restSc: e.insRestSc,
+		j: e.insJ, rest: e.insRest,
 	}, nil
 }
 
@@ -90,34 +93,26 @@ func (s *InsertScorer) Score(ed tree.Edge, passes int) (InsertScore, error) {
 	}
 	za, zb, zl := half, half, tree.DefaultBranchLength
 
-	aclv, asc, _ := e.partial(a, b)
-	bclv, bsc, _ := e.partial(b, a)
-	tip := e.tips[s.taxon]
+	aref, _ := e.partial(a, b)
+	bref, _ := e.partial(b, a)
+	tip := e.tipRef(s.taxon)
 
 	for pass := 0; pass < passes; pass++ {
 		// Leaf branch against the junction of both edge sides.
-		e.combineInto(s.jclv, s.jsc, aclv, asc, za, true)
-		e.combineInto(s.jclv, s.jsc, bclv, bsc, zb, false)
-		e.rescale(s.jclv, s.jsc)
-		zl = e.newtonEdge(s.jclv, s.jsc, tip, e.zeroScale, zl)
+		e.combine2Into(s.j, aref, bref, za, zb)
+		zl = e.newtonEdge(s.j, tip, zl)
 
 		// Branch toward A against the junction of B-side and leaf.
-		e.combineInto(s.rest, s.restSc, bclv, bsc, zb, true)
-		e.combineInto(s.rest, s.restSc, tip, e.zeroScale, zl, false)
-		e.rescale(s.rest, s.restSc)
-		za = e.newtonEdge(aclv, asc, s.rest, s.restSc, za)
+		e.combine2Into(s.rest, bref, tip, zb, zl)
+		za = e.newtonEdge(aref, s.rest, za)
 
 		// Branch toward B against the junction of A-side and leaf.
-		e.combineInto(s.rest, s.restSc, aclv, asc, za, true)
-		e.combineInto(s.rest, s.restSc, tip, e.zeroScale, zl, false)
-		e.rescale(s.rest, s.restSc)
-		zb = e.newtonEdge(bclv, bsc, s.rest, s.restSc, zb)
+		e.combine2Into(s.rest, aref, tip, za, zl)
+		zb = e.newtonEdge(bref, s.rest, zb)
 	}
 
 	// Final likelihood across the junction-leaf branch.
-	e.combineInto(s.jclv, s.jsc, aclv, asc, za, true)
-	e.combineInto(s.jclv, s.jsc, bclv, bsc, zb, false)
-	e.rescale(s.jclv, s.jsc)
-	lnL := e.edgeLogLikelihood(s.jclv, s.jsc, tip, e.zeroScale, zl)
+	e.combine2Into(s.j, aref, bref, za, zb)
+	lnL := e.edgeLogLikelihood(s.j, tip, zl)
 	return InsertScore{LnL: lnL, LenA: za, LenB: zb, LenLeaf: zl}, nil
 }

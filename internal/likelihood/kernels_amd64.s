@@ -1,0 +1,177 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func combine2AVX2(dst, a, b *float64, tab *[33][4]float64, dsc, asc, bsc *int32, groups, npad int) int
+//
+// Four patterns per iteration: dst = (Ma·a) ⊙ (Mb·b) with scale-count
+// accumulation, bailing out (without storing) on any group where a
+// pattern's lane maximum falls in (0, threshold) — or is NaN — so the
+// scalar kernel handles every rescaling decision. Coefficients come
+// pre-broadcast from tab (row r at byte offset 32*r: rows 0-15 Ma,
+// 16-31 Mb, 32 threshold). Dot products are left-associated mul+add,
+// no FMA, matching the scalar kernel bit for bit.
+//
+// Register map: DI=dst R8=a R9=b BX=tab R10=dsc R11=asc R12=bsc
+// CX=groups DX=npad*8 R13=npad*16 R14=npad*24 AX=groups done
+// Y0-Y3 input lanes, Y4-Y7 t then v, Y8/Y13 scratch, Y9-Y12 u,
+// Y14 constant zero.
+TEXT ·combine2AVX2(SB), NOSPLIT, $0-80
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), R8
+	MOVQ b+16(FP), R9
+	MOVQ tab+24(FP), BX
+	MOVQ dsc+32(FP), R10
+	MOVQ asc+40(FP), R11
+	MOVQ bsc+48(FP), R12
+	MOVQ groups+56(FP), CX
+	MOVQ npad+64(FP), DX
+	SHLQ $3, DX
+	LEAQ (DX)(DX*1), R13
+	LEAQ (DX)(DX*2), R14
+	XORQ AX, AX
+	VXORPD Y14, Y14, Y14
+	TESTQ CX, CX
+	JE   done
+
+loop:
+	// Load the four a-lanes for this group.
+	VMOVUPD (R8), Y0
+	VMOVUPD (R8)(DX*1), Y1
+	VMOVUPD (R8)(R13*1), Y2
+	VMOVUPD (R8)(R14*1), Y3
+
+	// t_j = ((Ma[j][0]*a0 + Ma[j][1]*a1) + Ma[j][2]*a2) + Ma[j][3]*a3
+	VMULPD (BX), Y0, Y4
+	VMULPD 32(BX), Y1, Y8
+	VADDPD Y8, Y4, Y4
+	VMULPD 64(BX), Y2, Y8
+	VADDPD Y8, Y4, Y4
+	VMULPD 96(BX), Y3, Y8
+	VADDPD Y8, Y4, Y4
+
+	VMULPD 128(BX), Y0, Y5
+	VMULPD 160(BX), Y1, Y8
+	VADDPD Y8, Y5, Y5
+	VMULPD 192(BX), Y2, Y8
+	VADDPD Y8, Y5, Y5
+	VMULPD 224(BX), Y3, Y8
+	VADDPD Y8, Y5, Y5
+
+	VMULPD 256(BX), Y0, Y6
+	VMULPD 288(BX), Y1, Y8
+	VADDPD Y8, Y6, Y6
+	VMULPD 320(BX), Y2, Y8
+	VADDPD Y8, Y6, Y6
+	VMULPD 352(BX), Y3, Y8
+	VADDPD Y8, Y6, Y6
+
+	VMULPD 384(BX), Y0, Y7
+	VMULPD 416(BX), Y1, Y8
+	VADDPD Y8, Y7, Y7
+	VMULPD 448(BX), Y2, Y8
+	VADDPD Y8, Y7, Y7
+	VMULPD 480(BX), Y3, Y8
+	VADDPD Y8, Y7, Y7
+
+	// Load the four b-lanes, reusing Y0-Y3.
+	VMOVUPD (R9), Y0
+	VMOVUPD (R9)(DX*1), Y1
+	VMOVUPD (R9)(R13*1), Y2
+	VMOVUPD (R9)(R14*1), Y3
+
+	// u_j = ((Mb[j][0]*b0 + Mb[j][1]*b1) + Mb[j][2]*b2) + Mb[j][3]*b3
+	VMULPD 512(BX), Y0, Y9
+	VMULPD 544(BX), Y1, Y13
+	VADDPD Y13, Y9, Y9
+	VMULPD 576(BX), Y2, Y13
+	VADDPD Y13, Y9, Y9
+	VMULPD 608(BX), Y3, Y13
+	VADDPD Y13, Y9, Y9
+
+	VMULPD 640(BX), Y0, Y10
+	VMULPD 672(BX), Y1, Y13
+	VADDPD Y13, Y10, Y10
+	VMULPD 704(BX), Y2, Y13
+	VADDPD Y13, Y10, Y10
+	VMULPD 736(BX), Y3, Y13
+	VADDPD Y13, Y10, Y10
+
+	VMULPD 768(BX), Y0, Y11
+	VMULPD 800(BX), Y1, Y13
+	VADDPD Y13, Y11, Y11
+	VMULPD 832(BX), Y2, Y13
+	VADDPD Y13, Y11, Y11
+	VMULPD 864(BX), Y3, Y13
+	VADDPD Y13, Y11, Y11
+
+	VMULPD 896(BX), Y0, Y12
+	VMULPD 928(BX), Y1, Y13
+	VADDPD Y13, Y12, Y12
+	VMULPD 960(BX), Y2, Y13
+	VADDPD Y13, Y12, Y12
+	VMULPD 992(BX), Y3, Y13
+	VADDPD Y13, Y12, Y12
+
+	// v_j = t_j * u_j
+	VMULPD Y9, Y4, Y4
+	VMULPD Y10, Y5, Y5
+	VMULPD Y11, Y6, Y6
+	VMULPD Y12, Y7, Y7
+
+	// mx = max(v0..v3); a pattern is safe to store iff mx >= threshold
+	// or mx <= 0 (ordered compares: NaN is unsafe and bails too).
+	VMAXPD Y5, Y4, Y8
+	VMAXPD Y7, Y6, Y13
+	VMAXPD Y13, Y8, Y8
+	VCMPPD $0x1d, 1024(BX), Y8, Y9 // GE_OQ: mx >= threshold
+	VCMPPD $0x12, Y14, Y8, Y10     // LE_OQ: mx <= 0
+	VORPD  Y10, Y9, Y9
+	VMOVMSKPD Y9, R15
+	CMPQ R15, $15
+	JNE  done
+
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, (DI)(DX*1)
+	VMOVUPD Y6, (DI)(R13*1)
+	VMOVUPD Y7, (DI)(R14*1)
+
+	// dsc = asc + bsc (no rescale events in a stored group)
+	VMOVDQU (R11), X13
+	VMOVDQU (R12), X15
+	VPADDD  X15, X13, X13
+	VMOVDQU X13, (R10)
+
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $16, R10
+	ADDQ $16, R11
+	ADDQ $16, R12
+	INCQ AX
+	CMPQ CX, AX
+	JNE  loop
+
+done:
+	VZEROUPPER
+	MOVQ AX, ret+72(FP)
+	RET
+
+// func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -149,10 +149,10 @@ func (e *Engine) smoothPass(anchor *tree.Node, allowed map[[2]int]bool) {
 	var visit func(u, p *tree.Node)
 	visit = func(u, p *tree.Node) {
 		if allowed == nil || allowed[edgeKey(p, u)] {
-			aclv, asc, _ := e.partial(p, u) // rest of tree seen from u
-			bclv, bsc, _ := e.partial(u, p) // subtree at u
+			a, _ := e.partial(p, u) // rest of tree seen from u
+			b, _ := e.partial(u, p) // subtree at u
 			z0 := u.LenTo(p)
-			z := e.newtonEdge(aclv, asc, bclv, bsc, z0)
+			z := e.newtonEdge(a, b, z0)
 			tree.SetLen(p, u, z) // no-op (and no invalidation) when z == z0
 		}
 		for _, c := range childrenByID(u, p) {
@@ -185,12 +185,12 @@ func childrenByID(u, p *tree.Node) []*tree.Node {
 // iterates, z0 included, so the result is never worse than the start —
 // the accept/reject guard reuses the likelihood values edgeDerivatives
 // already computes instead of paying two extra evaluation passes.
-func (e *Engine) newtonEdge(aclv []float64, asc []int32, bclv []float64, bsc []int32, z0 float64) float64 {
+func (e *Engine) newtonEdge(a, b clvRef, z0 float64) float64 {
 	z := clampLen(z0)
 	bestZ, bestL := z, math.Inf(-1)
 	for iter := 0; iter < newtonMaxIter; iter++ {
 		e.stats.NewtonIters++
-		d1, d2, lnl := e.edgeDerivatives(aclv, asc, bclv, bsc, z)
+		d1, d2, lnl := e.edgeDerivatives(a, b, z)
 		if lnl > bestL {
 			bestL, bestZ = lnl, z
 		}
@@ -231,12 +231,12 @@ func (e *Engine) newtonEdge(aclv []float64, asc []int32, bclv []float64, bsc []i
 // z, plus the log-likelihood itself (the log factors fall out of the
 // derivative terms, so the value costs only the per-pattern log the
 // guard in newtonEdge would otherwise pay for separately).
-func (e *Engine) edgeDerivatives(aclv []float64, asc []int32, bclv []float64, bsc []int32, z float64) (float64, float64, float64) {
+func (e *Engine) edgeDerivatives(a, b clvRef, z float64) (float64, float64, float64) {
 	e.fillProbsDeriv(clampLen(z))
 	e.ops += uint64(e.npat) * 48
 	k := &e.kern
 	k.op = kDeriv
-	k.aclv, k.asc, k.bclv, k.bsc = aclv, asc, bclv, bsc
+	k.a, k.b = a, b
 	e.runShards()
 	// Ordered reduction over the per-shard derivative partials.
 	d1, d2, lnL := 0.0, 0.0, 0.0
@@ -260,9 +260,9 @@ func (e *Engine) OptimizeEdge(t *tree.Tree, ed tree.Edge) (float64, error) {
 		return 0, fmt.Errorf("likelihood: edge %d-%d does not exist", ed.A.ID, ed.B.ID)
 	}
 	e.ensureBuffers(t.MaxID())
-	aclv, asc, _ := e.partial(ed.A, ed.B)
-	bclv, bsc, _ := e.partial(ed.B, ed.A)
-	z := e.newtonEdge(aclv, asc, bclv, bsc, ed.Length())
+	a, _ := e.partial(ed.A, ed.B)
+	b, _ := e.partial(ed.B, ed.A)
+	z := e.newtonEdge(a, b, ed.Length())
 	tree.SetLen(ed.A, ed.B, z)
-	return e.edgeLogLikelihood(aclv, asc, bclv, bsc, z), nil
+	return e.edgeLogLikelihood(a, b, z), nil
 }

@@ -1,0 +1,284 @@
+package likelihood
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/seq"
+	"repro/internal/tree"
+)
+
+// withinTol reports whether got agrees with want under the combined
+// relative/absolute bound used by the float32 tolerance contract.
+func withinTol(got, want, rel, abs float64) bool {
+	d := math.Abs(got - want)
+	return d <= abs || d <= rel*math.Abs(want)
+}
+
+// caterpillarFixture builds the worst-case geometry for CLV underflow: a
+// maximally unbalanced (caterpillar) tree whose pruning recursion is as
+// deep as the taxon count, over random sequences so most patterns
+// conflict along the spine and conditional likelihoods shrink
+// geometrically with depth.
+func caterpillarFixture(t testing.TB, seed int64, taxa, sites int) (model.Model, *seq.Patterns, *tree.Tree) {
+	rng := rand.New(rand.NewSource(seed))
+	rows := randomRows(rng, taxa, sites)
+	a := seq.NewAlignment(len(rows))
+	names := taxaNames(taxa)
+	for i, r := range rows {
+		if err := a.Add(names[i], r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := seq.Compress(a, seq.CompressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewF84(seq.EmpiricalFreqsPatterns(p), 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tree.New(names)
+	if _, err := tr.GraftPair(0, 1, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < taxa; i++ {
+		leaf := tr.LeafByTaxon(i - 1)
+		if _, err := tr.InsertLeaf(i, tree.Edge{A: leaf, B: leaf.Nbr[0]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Short branches keep per-join mismatch factors small (~1e-2), so a
+	// deep spine drives pattern maxima far below float32's exponent
+	// range — the run only survives if the aggressive rescaling works.
+	for _, ed := range tr.Edges() {
+		tree.SetLen(ed.A, ed.B, 0.04)
+	}
+	return m, p, tr
+}
+
+// TestFloat32MatchesFloat64 is the precision property test: over
+// randomized datasets and trees, a Float32 engine must agree with the
+// Float64 engine on log-likelihoods and Newton-optimized branch lengths
+// within the documented tolerance contract (Float32*Tol, precision.go).
+func TestFloat32MatchesFloat64(t *testing.T) {
+	cases := []struct {
+		seed        int64
+		taxa, sites int
+	}{
+		{seed: 21, taxa: 10, sites: 300},
+		{seed: 22, taxa: 16, sites: 400},
+		{seed: 23, taxa: 24, sites: 500},
+	}
+	for _, tc := range cases {
+		m, p, tr := threadFixture(t, tc.seed, tc.taxa, tc.sites)
+		e64, err := NewWithPrecision(m, p, Float64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e32, err := NewWithPrecision(m, p, Float32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e64.Precision() != Float64 || e32.Precision() != Float32 {
+			t.Fatalf("seed=%d: precision labels wrong: %v %v", tc.seed, e64.Precision(), e32.Precision())
+		}
+
+		t64, t32 := tr.Clone(), tr.Clone()
+		l64, err := e64.LogLikelihood(t64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l32, err := e32.LogLikelihood(t32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !withinTol(l32, l64, Float32LnLRelTol, Float32LnLAbsTol) {
+			t.Errorf("seed=%d: lnL32 %.10g vs lnL64 %.10g exceeds tolerance (diff %.3g)",
+				tc.seed, l32, l64, math.Abs(l32-l64))
+		}
+
+		o64, err := e64.OptimizeBranches(t64, OptOptions{Passes: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o32, err := e32.OptimizeBranches(t32, OptOptions{Passes: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !withinTol(o32, o64, Float32LnLRelTol, Float32LnLAbsTol) {
+			t.Errorf("seed=%d: optimized lnL32 %.10g vs lnL64 %.10g exceeds tolerance (diff %.3g)",
+				tc.seed, o32, o64, math.Abs(o32-o64))
+		}
+		ed64, ed32 := t64.Edges(), t32.Edges()
+		if len(ed64) != len(ed32) {
+			t.Fatalf("seed=%d: edge counts diverged: %d vs %d", tc.seed, len(ed64), len(ed32))
+		}
+		for i := range ed64 {
+			if ed64[i].A.ID != ed32[i].A.ID || ed64[i].B.ID != ed32[i].B.ID {
+				t.Fatalf("seed=%d: edge %d identity diverged", tc.seed, i)
+			}
+			g, w := ed32[i].Length(), ed64[i].Length()
+			if !withinTol(g, w, Float32LenRelTol, Float32LenAbsTol) {
+				t.Errorf("seed=%d: edge %d-%d length %.8g (f32) vs %.8g (f64) exceeds tolerance",
+					tc.seed, ed64[i].A.ID, ed64[i].B.ID, g, w)
+			}
+		}
+
+		// A Float32 engine is still bit-reproducible against itself at
+		// any thread count (the precision.go contract): reductions stay
+		// float64 in fixed shard order regardless of CLV storage.
+		e32t, err := NewWithPrecision(m, p, Float32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e32t.SetThreads(4)
+		lt, err := e32t.LogLikelihood(tr.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(lt) != math.Float64bits(l32) {
+			t.Errorf("seed=%d: threaded float32 lnL %.17g not bit-identical to serial %.17g",
+				tc.seed, lt, l32)
+		}
+		e32t.Close()
+		e64.Close()
+		e32.Close()
+	}
+}
+
+// TestFloat32DeepCaterpillarRescale stresses the underflow path: a
+// 48-taxon caterpillar over random data pushes per-pattern conditional
+// maxima to ~1e-60 and beyond, far below float32's smallest normal
+// (~1.2e-38). The float32 engine must (a) actually fire its aggressive
+// rescaling, (b) produce a finite log-likelihood, and (c) stay inside
+// the tolerance contract against float64.
+func TestFloat32DeepCaterpillarRescale(t *testing.T) {
+	m, p, tr := caterpillarFixture(t, 41, 48, 300)
+
+	e64, err := NewWithPrecision(m, p, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e32, err := NewWithPrecision(m, p, Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l64, err := e64.LogLikelihood(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l32, err := e32.LogLikelihood(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(l32, 0) || math.IsNaN(l32) {
+		t.Fatalf("float32 lnL not finite on deep caterpillar: %g", l32)
+	}
+	if !withinTol(l32, l64, Float32LnLRelTol, Float32LnLAbsTol) {
+		t.Errorf("deep tree: lnL32 %.10g vs lnL64 %.10g exceeds tolerance (diff %.3g)",
+			l32, l64, math.Abs(l32-l64))
+	}
+
+	// The deepest directed CLV (looking down the whole spine from leaf 0)
+	// must have accumulated scale events, or the test isn't actually
+	// exercising the rescale machinery.
+	leaf := tr.LeafByTaxon(0)
+	ref := e32.downPartial(leaf.Nbr[0], leaf)
+	var scaled int64
+	for _, s := range ref.sc {
+		scaled += int64(s)
+	}
+	if scaled == 0 {
+		t.Error("deep caterpillar produced zero float32 scale events; stress is not stressing")
+	}
+
+	// Branch-length optimization must also survive the repeated
+	// rescale/underflow regime.
+	t64, t32 := tr.Clone(), tr.Clone()
+	o64, err := e64.OptimizeBranches(t64, OptOptions{Passes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o32, err := e32.OptimizeBranches(t32, OptOptions{Passes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !withinTol(o32, o64, Float32LnLRelTol, Float32LnLAbsTol) {
+		t.Errorf("deep tree optimized: lnL32 %.10g vs lnL64 %.10g exceeds tolerance (diff %.3g)",
+			o32, o64, math.Abs(o32-o64))
+	}
+	ed64, ed32 := t64.Edges(), t32.Edges()
+	for i := range ed64 {
+		g, w := ed32[i].Length(), ed64[i].Length()
+		if !withinTol(g, w, Float32LenRelTol, Float32LenAbsTol) {
+			t.Errorf("deep tree edge %d-%d: length %.8g (f32) vs %.8g (f64) exceeds tolerance",
+				ed64[i].A.ID, ed64[i].B.ID, g, w)
+		}
+	}
+	e64.Close()
+	e32.Close()
+}
+
+// TestVectorCombine2MatchesScalar pins the AVX2 fused-combine kernel to
+// the scalar reference bit for bit: a float64 engine with the vector
+// path enabled must produce byte-identical log-likelihoods, optimized
+// branch lengths, and trees to one forced onto segCombine2 — including
+// on the deep caterpillar, where the vector kernel's bail-to-scalar
+// rescale protocol is exercised heavily.
+func TestVectorCombine2MatchesScalar(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("AVX2 kernel unavailable on this host")
+	}
+	run := func(name string, m model.Model, p *seq.Patterns, tr *tree.Tree) {
+		vec, err := New(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sca, err := New(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vec.bc2 == nil {
+			t.Fatalf("%s: vector engine has no broadcast tables despite AVX2", name)
+		}
+		sca.bc2 = nil // force the scalar segCombine2 path
+
+		tv, ts := tr.Clone(), tr.Clone()
+		lv, err := vec.LogLikelihood(tv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls, err := sca.LogLikelihood(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(lv) != math.Float64bits(ls) {
+			t.Errorf("%s: vector lnL %.17g not bit-identical to scalar %.17g", name, lv, ls)
+		}
+		ov, err := vec.OptimizeBranches(tv, OptOptions{Passes: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		os, err := sca.OptimizeBranches(ts, OptOptions{Passes: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(ov) != math.Float64bits(os) {
+			t.Errorf("%s: vector optimized lnL %.17g != scalar %.17g", name, ov, os)
+		}
+		if tv.Newick() != ts.Newick() {
+			t.Errorf("%s: vector-optimized tree differs from scalar:\n got %s\nwant %s",
+				name, tv.Newick(), ts.Newick())
+		}
+		vec.Close()
+		sca.Close()
+	}
+
+	m, p, tr := threadFixture(t, 17, 14, 500)
+	run("random", m, p, tr)
+	mc, pc, trc := caterpillarFixture(t, 43, 40, 250)
+	run("caterpillar", mc, pc, trc)
+}

@@ -1,7 +1,6 @@
 package likelihood
 
 import (
-	"math"
 	"sync"
 	"sync/atomic"
 )
@@ -17,7 +16,11 @@ import (
 // reductions accumulate one partial per shard which the caller sums in
 // shard index order. Threads therefore only changes which goroutine runs
 // a shard, not a single floating-point operation or its order, so
-// Threads: N is bit-identical to Threads: 1 for every kernel.
+// Threads: N is bit-identical to Threads: 1 for every kernel. Shard cut
+// points are chosen on the *real* pattern axis — the same `s*npat/n`
+// boundaries as the pre-SoA engine — so the padded layout changes where
+// patterns live in memory but not how reductions group, keeping float64
+// results bit-identical across the layout change too.
 
 const (
 	// minShardPatterns is the smallest pattern range worth a shard; tiny
@@ -28,10 +31,13 @@ const (
 )
 
 // shardSeg is a run of patterns within one rate-class block, so kernels
-// still hoist the transition-matrix lookup out of the pattern loop.
+// still hoist the transition-matrix lookup out of the pattern loop. lo/hi
+// index the real (permuted) pattern axis; plo is where the run starts on
+// the padded axis the SoA lanes are laid out on.
 type shardSeg struct {
 	ci     int // rate class index
 	lo, hi int // permuted pattern index range [lo, hi)
+	plo    int // padded start index of this run
 }
 
 // shard is one contiguous pattern range, pre-cut into class segments.
@@ -56,7 +62,9 @@ func buildShards(blocks []classBlock, npat int) []shard {
 		for _, blk := range blocks {
 			slo, shi := max(lo, blk.lo), min(hi, blk.hi)
 			if slo < shi {
-				shards[s].segs = append(shards[s].segs, shardSeg{ci: blk.ci, lo: slo, hi: shi})
+				shards[s].segs = append(shards[s].segs, shardSeg{
+					ci: blk.ci, lo: slo, hi: shi, plo: blk.plo + (slo - blk.lo),
+				})
 			}
 		}
 	}
@@ -69,7 +77,9 @@ func buildShards(blocks []classBlock, npat int) []shard {
 const (
 	kCombineFirst = iota
 	kCombineMul
-	kRescale
+	kCombineFirstResc
+	kCombineMulResc
+	kCombine2
 	kEdgeLnL
 	kDeriv
 	kSiteLnL
@@ -79,12 +89,11 @@ const (
 // dispatching caller before the pool wakes, read by the shard workers;
 // the wake channel send and WaitGroup wait order the accesses.
 type kernArgs struct {
-	op         int
-	dst, src   []float64
-	dsc, ssc   []int32
-	aclv, bclv []float64
-	asc, bsc   []int32
-	out        []float64
+	op       int
+	dst, src clvRef
+	src2     clvRef
+	a, b     clvRef
+	out      []float64
 }
 
 // shardPool runs kernel shards on threads-1 persistent goroutines plus
@@ -197,127 +206,110 @@ func (e *Engine) runShards() {
 // shardKernel runs the current kernel over shard s. It is the only code
 // executed by pool goroutines; everything it touches is either read-only
 // during a dispatch (transition matrices, tips, weights) or partitioned
-// by shard (CLV ranges, per-shard partials).
+// by shard (CLV ranges, per-shard partials). Each opcode dispatches to
+// the generic segment kernels in kernels.go at the engine's precision;
+// reductions always accumulate in float64 with one accumulator threaded
+// through the whole shard, so the summation grouping matches the
+// pre-SoA engine exactly.
 func (e *Engine) shardKernel(s int) {
 	k := &e.kern
 	segs := e.shards[s].segs
+	freqs := (*[4]float64)(&e.freqs)
 	switch k.op {
 	case kCombineFirst:
-		dst, dsc, src, ssc := k.dst, k.dsc, k.src, k.ssc
 		for _, seg := range segs {
-			pm := &e.pmat[seg.ci]
-			for p := seg.lo; p < seg.hi; p++ {
-				c0, c1, c2, c3 := src[p*4], src[p*4+1], src[p*4+2], src[p*4+3]
-				for j := 0; j < 4; j++ {
-					dst[p*4+j] = pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
-				}
-				dsc[p] = ssc[p]
+			n := seg.hi - seg.lo
+			if e.prec == Float32 {
+				segCombineFirst(k.dst.f32, k.src.f32, &e.pmat32[seg.ci], e.npad, seg.plo, n)
+			} else {
+				segCombineFirst(k.dst.f64, k.src.f64, (*[4][4]float64)(&e.pmat[seg.ci]), e.npad, seg.plo, n)
 			}
+			copy(k.dst.sc[seg.plo:seg.plo+n], k.src.sc[seg.plo:seg.plo+n])
 		}
 	case kCombineMul:
-		dst, dsc, src, ssc := k.dst, k.dsc, k.src, k.ssc
 		for _, seg := range segs {
-			pm := &e.pmat[seg.ci]
-			for p := seg.lo; p < seg.hi; p++ {
-				c0, c1, c2, c3 := src[p*4], src[p*4+1], src[p*4+2], src[p*4+3]
-				for j := 0; j < 4; j++ {
-					dst[p*4+j] *= pm[j][0]*c0 + pm[j][1]*c1 + pm[j][2]*c2 + pm[j][3]*c3
-				}
-				dsc[p] += ssc[p]
+			n := seg.hi - seg.lo
+			if e.prec == Float32 {
+				segCombineMul(k.dst.f32, k.src.f32, &e.pmat32[seg.ci], e.npad, seg.plo, n)
+			} else {
+				segCombineMul(k.dst.f64, k.src.f64, (*[4][4]float64)(&e.pmat[seg.ci]), e.npad, seg.plo, n)
+			}
+			addScale(k.dst.sc, k.src.sc, seg.plo, n)
+		}
+	case kCombineFirstResc:
+		for _, seg := range segs {
+			n := seg.hi - seg.lo
+			if e.prec == Float32 {
+				segCombineFirstResc(k.dst.f32, k.src.f32, &e.pmat32[seg.ci], k.dst.sc, k.src.sc,
+					float32(scaleThreshold32), scaleFactor32, e.npad, seg.plo, n)
+			} else {
+				segCombineFirstResc(k.dst.f64, k.src.f64, (*[4][4]float64)(&e.pmat[seg.ci]), k.dst.sc, k.src.sc,
+					scaleThreshold, scaleFactor, e.npad, seg.plo, n)
 			}
 		}
-	case kRescale:
-		clv, sc := k.dst, k.dsc
+	case kCombineMulResc:
 		for _, seg := range segs {
-			for p := seg.lo; p < seg.hi; p++ {
-				m := clv[p*4]
-				for j := 1; j < 4; j++ {
-					if clv[p*4+j] > m {
-						m = clv[p*4+j]
-					}
-				}
-				if m < scaleThreshold && m > 0 {
-					for j := 0; j < 4; j++ {
-						clv[p*4+j] *= scaleFactor
-					}
-					sc[p]++
-				}
+			n := seg.hi - seg.lo
+			if e.prec == Float32 {
+				segCombineMulResc(k.dst.f32, k.src.f32, &e.pmat32[seg.ci], k.dst.sc, k.src.sc,
+					float32(scaleThreshold32), scaleFactor32, e.npad, seg.plo, n)
+			} else {
+				segCombineMulResc(k.dst.f64, k.src.f64, (*[4][4]float64)(&e.pmat[seg.ci]), k.dst.sc, k.src.sc,
+					scaleThreshold, scaleFactor, e.npad, seg.plo, n)
+			}
+		}
+	case kCombine2:
+		for _, seg := range segs {
+			n := seg.hi - seg.lo
+			if e.prec == Float32 {
+				segCombine2(k.dst.f32, k.src.f32, k.src2.f32, &e.pmat32[seg.ci], &e.pmat32B[seg.ci],
+					k.dst.sc, k.src.sc, k.src2.sc, float32(scaleThreshold32), scaleFactor32, e.npad, seg.plo, n)
+			} else if e.bc2 != nil {
+				combine2F64(k.dst.f64, k.src.f64, k.src2.f64,
+					(*[4][4]float64)(&e.pmat[seg.ci]), (*[4][4]float64)(&e.pmatB[seg.ci]),
+					&e.bc2[seg.ci], k.dst.sc, k.src.sc, k.src2.sc, e.npad, seg.plo, n)
+			} else {
+				segCombine2(k.dst.f64, k.src.f64, k.src2.f64,
+					(*[4][4]float64)(&e.pmat[seg.ci]), (*[4][4]float64)(&e.pmatB[seg.ci]),
+					k.dst.sc, k.src.sc, k.src2.sc, scaleThreshold, scaleFactor, e.npad, seg.plo, n)
 			}
 		}
 	case kEdgeLnL:
-		e.shardEdgeLnL(s, segs)
-	case kDeriv:
-		e.shardDeriv(s, segs)
-	case kSiteLnL:
-		aclv, asc, bclv, bsc, out := k.aclv, k.asc, k.bclv, k.bsc, k.out
+		total := 0.0
 		for _, seg := range segs {
-			pm := &e.pmat[seg.ci]
-			for p := seg.lo; p < seg.hi; p++ {
-				b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
-				lkl := 0.0
-				for i := 0; i < 4; i++ {
-					lkl += e.freqs[i] * aclv[p*4+i] *
-						(pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
-				}
-				if lkl <= 0 {
-					lkl = math.SmallestNonzeroFloat64
-				}
-				out[e.perm[p]] = math.Log(lkl) - float64(asc[p]+bsc[p])*logScale
+			n := seg.hi - seg.lo
+			if e.prec == Float32 {
+				total = segEdgeLnL(k.a.f32, k.b.f32, k.a.sc, k.b.sc, e.weights,
+					&e.pmat[seg.ci], freqs, e.logScaleV, e.npad, seg.plo, n, total)
+			} else {
+				total = segEdgeLnL(k.a.f64, k.b.f64, k.a.sc, k.b.sc, e.weights,
+					&e.pmat[seg.ci], freqs, e.logScaleV, e.npad, seg.plo, n, total)
+			}
+		}
+		e.shLnL[s] = total
+	case kDeriv:
+		var acc derivAcc
+		for _, seg := range segs {
+			n := seg.hi - seg.lo
+			if e.prec == Float32 {
+				acc = segDeriv(k.a.f32, k.b.f32, k.a.sc, k.b.sc, e.weights,
+					&e.pmat[seg.ci], &e.dmat[seg.ci], &e.ddmat[seg.ci], freqs, e.logScaleV, e.npad, seg.plo, n, acc)
+			} else {
+				acc = segDeriv(k.a.f64, k.b.f64, k.a.sc, k.b.sc, e.weights,
+					&e.pmat[seg.ci], &e.dmat[seg.ci], &e.ddmat[seg.ci], freqs, e.logScaleV, e.npad, seg.plo, n, acc)
+			}
+		}
+		e.shD1[s], e.shD2[s], e.shLnL[s] = acc.d1, acc.d2, acc.lnL
+	case kSiteLnL:
+		for _, seg := range segs {
+			n := seg.hi - seg.lo
+			if e.prec == Float32 {
+				segSiteLnL(k.a.f32, k.b.f32, k.a.sc, k.b.sc, e.origOfPad, k.out,
+					&e.pmat[seg.ci], freqs, e.logScaleV, e.npad, seg.plo, n)
+			} else {
+				segSiteLnL(k.a.f64, k.b.f64, k.a.sc, k.b.sc, e.origOfPad, k.out,
+					&e.pmat[seg.ci], freqs, e.logScaleV, e.npad, seg.plo, n)
 			}
 		}
 	}
-}
-
-// shardEdgeLnL accumulates shard s's root log-likelihood partial into
-// e.shLnL[s]; the caller sums the partials in shard index order.
-func (e *Engine) shardEdgeLnL(s int, segs []shardSeg) {
-	k := &e.kern
-	aclv, asc, bclv, bsc := k.aclv, k.asc, k.bclv, k.bsc
-	total := 0.0
-	for _, seg := range segs {
-		pm := &e.pmat[seg.ci]
-		for p := seg.lo; p < seg.hi; p++ {
-			b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
-			lkl := 0.0
-			for i := 0; i < 4; i++ {
-				lkl += e.freqs[i] * aclv[p*4+i] *
-					(pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
-			}
-			if lkl <= 0 {
-				lkl = math.SmallestNonzeroFloat64
-			}
-			total += e.weights[p] * (math.Log(lkl) - float64(asc[p]+bsc[p])*logScale)
-		}
-	}
-	e.shLnL[s] = total
-}
-
-// shardDeriv accumulates shard s's Newton derivative partials into
-// e.shD1[s], e.shD2[s], e.shLnL[s].
-func (e *Engine) shardDeriv(s int, segs []shardSeg) {
-	k := &e.kern
-	aclv, asc, bclv, bsc := k.aclv, k.asc, k.bclv, k.bsc
-	d1, d2, lnL := 0.0, 0.0, 0.0
-	for _, seg := range segs {
-		pm, dm, ddm := &e.pmat[seg.ci], &e.dmat[seg.ci], &e.ddmat[seg.ci]
-		for p := seg.lo; p < seg.hi; p++ {
-			b0, b1, b2, b3 := bclv[p*4], bclv[p*4+1], bclv[p*4+2], bclv[p*4+3]
-			var l, dl, ddl float64
-			for i := 0; i < 4; i++ {
-				ai := e.freqs[i] * aclv[p*4+i]
-				l += ai * (pm[i][0]*b0 + pm[i][1]*b1 + pm[i][2]*b2 + pm[i][3]*b3)
-				dl += ai * (dm[i][0]*b0 + dm[i][1]*b1 + dm[i][2]*b2 + dm[i][3]*b3)
-				ddl += ai * (ddm[i][0]*b0 + ddm[i][1]*b1 + ddm[i][2]*b2 + ddm[i][3]*b3)
-			}
-			if l <= 0 {
-				l = math.SmallestNonzeroFloat64
-			}
-			w := e.weights[p]
-			r := dl / l
-			d1 += w * r
-			d2 += w * (ddl/l - r*r)
-			lnL += w * (math.Log(l) - float64(asc[p]+bsc[p])*logScale)
-		}
-	}
-	e.shD1[s], e.shD2[s], e.shLnL[s] = d1, d2, lnL
 }

@@ -150,44 +150,48 @@ func TestThreadedInsertScorerBitIdentical(t *testing.T) {
 
 // TestZeroAllocSteadyState asserts the arena work: once caches are warm,
 // repeated likelihood evaluations and single-edge Newton optimization
-// must not allocate — serial or threaded.
+// must not allocate — serial or threaded, in either CLV precision (the
+// cache slabs and insertion arena size off the padded layout, so both
+// storage formats must stay allocation-free).
 func TestZeroAllocSteadyState(t *testing.T) {
 	m, p, tr := threadFixture(t, 3, 12, 400)
 
-	for _, threads := range []int{1, 4} {
-		eng, err := New(m, p)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if threads > 1 {
-			eng.SetThreads(threads)
-		}
-		if _, err := eng.LogLikelihood(tr); err != nil {
-			t.Fatal(err)
-		}
-		ed, ok := tr.FirstEdge()
-		if !ok {
-			t.Fatal("no edge")
-		}
-		if _, err := eng.OptimizeEdge(tr, ed); err != nil {
-			t.Fatal(err)
-		}
-
-		if n := testing.AllocsPerRun(50, func() {
+	for _, prec := range []Precision{Float64, Float32} {
+		for _, threads := range []int{1, 4} {
+			eng, err := NewWithPrecision(m, p, prec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if threads > 1 {
+				eng.SetThreads(threads)
+			}
 			if _, err := eng.LogLikelihood(tr); err != nil {
 				t.Fatal(err)
 			}
-		}); n > 0 {
-			t.Errorf("threads=%d: warm LogLikelihood allocates %.1f/op, want 0", threads, n)
-		}
-		if n := testing.AllocsPerRun(50, func() {
+			ed, ok := tr.FirstEdge()
+			if !ok {
+				t.Fatal("no edge")
+			}
 			if _, err := eng.OptimizeEdge(tr, ed); err != nil {
 				t.Fatal(err)
 			}
-		}); n > 0 {
-			t.Errorf("threads=%d: warm OptimizeEdge allocates %.1f/op, want 0", threads, n)
+
+			if n := testing.AllocsPerRun(50, func() {
+				if _, err := eng.LogLikelihood(tr); err != nil {
+					t.Fatal(err)
+				}
+			}); n > 0 {
+				t.Errorf("prec=%v threads=%d: warm LogLikelihood allocates %.1f/op, want 0", prec, threads, n)
+			}
+			if n := testing.AllocsPerRun(50, func() {
+				if _, err := eng.OptimizeEdge(tr, ed); err != nil {
+					t.Fatal(err)
+				}
+			}); n > 0 {
+				t.Errorf("prec=%v threads=%d: warm OptimizeEdge allocates %.1f/op, want 0", prec, threads, n)
+			}
+			eng.Close()
 		}
-		eng.Close()
 	}
 }
 

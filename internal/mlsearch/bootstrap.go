@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"repro/internal/likelihood"
 	"repro/internal/model"
 	"repro/internal/seq"
 )
@@ -28,6 +29,10 @@ type DataBundle struct {
 	SiteRates []float64
 	// Weights are optional per-site weights (empty = uniform).
 	Weights []float64
+	// Precision is the CLV storage format workers should evaluate with
+	// (zero value = likelihood.Float64). A worker started with an
+	// explicit -precision flag overrides it locally.
+	Precision likelihood.Precision
 }
 
 const (
@@ -49,6 +54,7 @@ func MarshalDataBundle(b DataBundle) []byte {
 	for _, x := range b.Weights {
 		w.f64(x)
 	}
+	w.i32(int32(b.Precision))
 	return w.buf
 }
 
@@ -70,6 +76,7 @@ func UnmarshalDataBundle(data []byte) (DataBundle, error) {
 	for i := int32(0); i < n && r.err == nil; i++ {
 		b.Weights = append(b.Weights, r.f64("bundle weight"))
 	}
+	b.Precision = likelihood.Precision(r.i32("bundle precision"))
 	return b, r.done("data bundle")
 }
 

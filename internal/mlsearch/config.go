@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/likelihood"
 	"repro/internal/model"
 	"repro/internal/seq"
 )
@@ -64,6 +65,12 @@ type Config struct {
 	// Results are bit-identical across thread counts: sharding is a pure
 	// function of the data and reductions run in shard order.
 	Threads int
+
+	// Precision selects the CLV storage format for evaluators this config
+	// builds. The zero value (likelihood.Float64) is exact mode and the
+	// bit-identity reference; likelihood.Float32 trades the documented
+	// tolerance (likelihood.Float32*Tol) for half the CLV memory traffic.
+	Precision likelihood.Precision
 }
 
 // Normalize validates the configuration and fills defaults, returning the

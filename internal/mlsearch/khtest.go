@@ -43,7 +43,7 @@ func KishinoHasegawa(cfg Config, trees []*tree.Tree) ([]KHResult, error) {
 	if len(trees) == 0 {
 		return nil, fmt.Errorf("mlsearch: no trees to compare")
 	}
-	eng, err := likelihood.New(norm.Model, norm.Patterns)
+	eng, err := likelihood.NewWithPrecision(norm.Model, norm.Patterns, norm.Precision)
 	if err != nil {
 		return nil, err
 	}

@@ -317,6 +317,7 @@ func runLocalTransport(cfg Config, opt RunOptions) (*RunOutcome, error) {
 			if hooks.Threads == 0 {
 				hooks.Threads = norm.Threads
 			}
+			hooks.Precision = norm.Precision
 			if err := RunWorker(world[rank], lay, norm.Model, norm.Patterns, norm.Taxa, hooks); err != nil {
 				errs <- fmt.Errorf("worker %d: %w", rank, err)
 			}
@@ -354,7 +355,7 @@ func runMasterSide(c comm.Communicator, lay Layout, norm Config, opt RunOptions)
 // newInlineEvaluator builds the evaluator the foreman falls back to when
 // the live worker set is empty (TCP degradation ladder, bottom rung).
 func newInlineEvaluator(norm Config) (*Evaluator, error) {
-	eng, err := likelihood.New(norm.Model, norm.Patterns)
+	eng, err := likelihood.NewWithPrecision(norm.Model, norm.Patterns, norm.Precision)
 	if err != nil {
 		return nil, err
 	}

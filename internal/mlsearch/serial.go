@@ -18,7 +18,7 @@ func NewSerialDispatcher(cfg Config) (*SerialDispatcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := likelihood.New(norm.Model, norm.Patterns)
+	eng, err := likelihood.NewWithPrecision(norm.Model, norm.Patterns, norm.Precision)
 	if err != nil {
 		return nil, err
 	}

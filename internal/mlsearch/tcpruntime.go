@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/likelihood"
 )
 
 // Distributed (TCP) runtime with elastic membership. One operating
@@ -33,6 +34,11 @@ func runTCPTransport(cfg Config, opt RunOptions) (*RunOutcome, error) {
 	norm, err := cfg.Normalize()
 	if err != nil {
 		return nil, err
+	}
+	// Workers evaluate at the run's precision unless the bundle already
+	// requests one explicitly.
+	if opt.Bundle.Precision == likelihood.Float64 {
+		opt.Bundle.Precision = norm.Precision
 	}
 	lay := ElasticLayout(opt.WithMonitor)
 
@@ -275,6 +281,11 @@ func serveConnection(c comm.Communicator, welcome []byte, hooks WorkerHooks) err
 	m, pat, taxa, err := bundle.Build()
 	if err != nil {
 		return err
+	}
+	if !hooks.PrecisionSet {
+		// The master's bundle chooses the precision unless this worker
+		// was started with an explicit -precision override.
+		hooks.Precision = bundle.Precision
 	}
 	if hooks.OnAttach != nil {
 		hooks.OnAttach(c)

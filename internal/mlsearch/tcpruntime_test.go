@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/likelihood"
 	"repro/internal/seq"
 	"repro/internal/simulate"
 )
@@ -136,6 +137,7 @@ func TestDataBundleCodec(t *testing.T) {
 		TTRatio:    2.5,
 		SiteRates:  []float64{1, 2, 0.5, 0.5},
 		Weights:    []float64{1, 1, 0, 2},
+		Precision:  likelihood.Float32,
 	}
 	out, err := UnmarshalDataBundle(MarshalDataBundle(in))
 	if err != nil {
@@ -146,6 +148,9 @@ func TestDataBundleCodec(t *testing.T) {
 	}
 	if len(out.SiteRates) != 4 || len(out.Weights) != 4 {
 		t.Errorf("slices lost: %+v", out)
+	}
+	if out.Precision != likelihood.Float32 {
+		t.Errorf("precision lost: %v", out.Precision)
 	}
 	if _, err := UnmarshalDataBundle([]byte{0x00}); err == nil {
 		t.Error("bad kind byte accepted")

@@ -34,12 +34,20 @@ type WorkerHooks struct {
 	// keep the engine single-threaded). Sharding is deterministic: a
 	// threaded worker returns bit-identical results to a serial one.
 	Threads int
+	// Precision selects the worker engine's CLV storage format. The zero
+	// value is likelihood.Float64 (exact mode); TCP workers default to
+	// the precision the master's data bundle requests unless the hook was
+	// set explicitly (see PrecisionSet).
+	Precision likelihood.Precision
+	// PrecisionSet marks Precision as an explicit per-worker override, so
+	// a worker can be forced to a precision different from the bundle's.
+	PrecisionSet bool
 }
 
 // RunWorker executes the worker loop: receive a task from the foreman,
 // evaluate it, send the result back, until a shutdown message arrives.
 func RunWorker(c comm.Communicator, lay Layout, m model.Model, pat *seq.Patterns, taxa []string, hooks WorkerHooks) error {
-	eng, err := likelihood.New(m, pat)
+	eng, err := likelihood.NewWithPrecision(m, pat, hooks.Precision)
 	if err != nil {
 		return err
 	}
