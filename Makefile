@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race bench bench-compare chaos-soak
+.PHONY: check vet staticcheck build test race difftest bench bench-compare chaos-soak
 
 # Tier-1 gate: everything that must pass before a change lands.
-check: vet staticcheck build test race
+check: vet staticcheck build test race difftest
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,14 @@ test:
 # float32/float64 precision property tests).
 race:
 	$(GO) test -race ./internal/comm/... ./internal/mlsearch/... ./internal/likelihood/...
+
+# Differential harness: the cached production engine against the direct
+# recomputation reference engine over seeded randomized trees, models,
+# and data sets, in both CLV precisions (see DESIGN.md §5g for the
+# tolerance contract). -count=1 defeats the test cache so the harness
+# really runs.
+difftest:
+	$(GO) test -count=1 -run TestDifferential ./internal/likelihood/difftest/
 
 # Kernel scaling benchmarks: the sharded pruning and Newton kernels at
 # 1/2/4 engine threads under GOMAXPROCS 1/2/4, with -benchmem asserting

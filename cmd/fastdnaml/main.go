@@ -39,6 +39,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel worker processes on this machine (0 = serial)")
 		threads     = flag.Int("threads", 1, "likelihood kernel threads per evaluator (results are bit-identical at any count)")
 		precision   = flag.String("precision", "float64", "CLV storage precision: float64 (exact, default) or float32 (half the memory traffic, documented tolerance)")
+		engine      = flag.String("engine", "", "likelihood backend: cached (default) or reference (direct recomputation, for cross-validation)")
 		pipeline    = flag.Int("pipeline", 2, "tasks kept in flight per worker in parallel runs (1 = paper's one-task dispatch)")
 		monitor     = flag.Bool("monitor", false, "attach the monitor process (parallel runs)")
 		ratesPath   = flag.String("rates", "", "per-site rate file (dnarates output)")
@@ -68,7 +69,7 @@ func main() {
 	}
 	if err := run(*inPath, options{
 		jumbles: *jumbles, concJumbles: *concJumbles, seed: *seed, extent: *extent, finalExtent: *finalExtent,
-		ttratio: *ttratio, workers: *workers, threads: *threads, precision: *precision, pipeline: *pipeline, monitor: *monitor,
+		ttratio: *ttratio, workers: *workers, threads: *threads, precision: *precision, engine: *engine, pipeline: *pipeline, monitor: *monitor,
 		ratesPath: *ratesPath, weightsPath: *weightsPath,
 		outPrefix: *outPrefix, progressOut: *progressOut,
 		listen: *listen, netWorkers: *netWorkers, taskTimeout: *taskTimeout, quiet: *quiet,
@@ -92,7 +93,7 @@ type options struct {
 	monitor, quiet                                    bool
 	ratesPath, weightsPath, outPrefix, progressOut    string
 	listen, modelName, gtrRates                       string
-	precision                                         string
+	precision, engine                                 string
 	userTrees                                         string
 	bootstrap                                         int
 	checkpoint, resume                                string
@@ -169,6 +170,7 @@ func run(inPath string, o options) error {
 		Workers:              o.workers,
 		Threads:              o.threads,
 		Precision:            o.precision,
+		Engine:               o.engine,
 		Pipeline:             o.pipeline,
 		WithMonitor:          o.monitor,
 		MonitorOut:           obs.NewLockedWriter(os.Stderr),
@@ -426,6 +428,7 @@ func runDistributed(a *seq.Alignment, opt core.Options, o options) error {
 			SiteRates:  opt.SiteRates,
 			Weights:    opt.Weights,
 			Precision:  cfg.Precision,
+			Engine:     cfg.Engine,
 		},
 		Progress: opt.Progress,
 		OnListen: func(addr net.Addr) {

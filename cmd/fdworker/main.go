@@ -30,6 +30,7 @@ func main() {
 		statusAddr = flag.String("status-addr", "", "serve /metrics, /status, and /debug/pprof on this address")
 		threads    = flag.Int("threads", 1, "likelihood kernel threads (results are bit-identical at any count)")
 		precision  = flag.String("precision", "", "CLV storage precision: float64 or float32 (default: whatever the master's data bundle requests)")
+		engine     = flag.String("engine", "", "likelihood backend: cached or reference (default: whatever the master's data bundle requests)")
 	)
 	flag.Parse()
 	if *connect == "" {
@@ -50,6 +51,14 @@ func main() {
 			os.Exit(2)
 		}
 		hooks.Precision, hooks.PrecisionSet = prec, true
+	}
+	if *engine != "" {
+		name, err := likelihood.ParseEngine(*engine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdworker:", err)
+			os.Exit(2)
+		}
+		hooks.Engine, hooks.EngineSet = name, true
 	}
 	if *statusAddr != "" {
 		reg := obs.NewRegistry()

@@ -68,6 +68,11 @@ type Options struct {
 	// "single", "f32"), which halves CLV memory traffic at the documented
 	// accuracy tolerance (likelihood.Float32*Tol).
 	Precision string
+	// Engine names the likelihood backend: "cached" (the CLV-cached
+	// production engine, the default) or "reference" (the direct
+	// recomputation engine used for differential testing). See
+	// likelihood.Engines for the registered set.
+	Engine string
 	// Pipeline is the number of tasks the foreman keeps in flight per
 	// worker in parallel runs (default 2; 1 restores the paper's
 	// one-task-per-worker dispatch).
@@ -174,6 +179,7 @@ func Prepare(a *seq.Alignment, opt Options) (mlsearch.Config, Options, error) {
 		AdaptiveExtent:  opt.AdaptiveExtent,
 		Threads:         opt.Threads,
 		Precision:       prec,
+		Engine:          opt.Engine,
 	}
 	return cfg, opt, nil
 }

@@ -31,6 +31,9 @@ type Options struct {
 	// Refine enables parabolic refinement around the best grid point
 	// (default on; disable for exact grid snapping).
 	NoRefine bool
+	// Engine names the likelihood backend used for the grid evaluations
+	// (see likelihood.Engines; empty = likelihood.DefaultEngine).
+	Engine string
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -73,10 +76,11 @@ func Estimate(m model.Model, a *seq.Alignment, tr *tree.Tree, opt Options) (*Rat
 	if err != nil {
 		return nil, err
 	}
-	eng, err := likelihood.New(m, pat)
+	eng, err := likelihood.NewEngine(opt.Engine, m, pat, likelihood.EngineOptions{})
 	if err != nil {
 		return nil, err
 	}
+	defer likelihood.CloseEngine(eng)
 
 	// Geometric grid in [MinRate, MaxRate].
 	grid := make([]float64, opt.GridSize)
@@ -156,10 +160,11 @@ func Estimate(m model.Model, a *seq.Alignment, tr *tree.Tree, opt Options) (*Rat
 	if err != nil {
 		return nil, err
 	}
-	ratedEng, err := likelihood.New(m, ratedPat)
+	ratedEng, err := likelihood.NewEngine(opt.Engine, m, ratedPat, likelihood.EngineOptions{})
 	if err != nil {
 		return nil, err
 	}
+	defer likelihood.CloseEngine(ratedEng)
 	lnLAfter, err := ratedEng.LogLikelihood(tr)
 	if err != nil {
 		return nil, err

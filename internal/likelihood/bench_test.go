@@ -18,7 +18,7 @@ import (
 var benchThreadCounts = []int{1, 2, 4, 8}
 
 // benchEngine builds a warmed engine + tree at the given thread count.
-func benchEngine(b *testing.B, threads int) (*Engine, *tree.Tree) {
+func benchEngine(b *testing.B, threads int) (*CachedEngine, *tree.Tree) {
 	b.Helper()
 	m, p, tr := threadFixture(b, 17, 24, 3000)
 	eng, err := New(m, p)

@@ -243,7 +243,7 @@ func (c *clvCache) peek(n, parent *tree.Node) *clvEntry {
 
 // Stats returns the counters since the last ResetStats plus the current
 // entry gauge.
-func (e *Engine) Stats() EngineStats {
+func (e *CachedEngine) Stats() EngineStats {
 	s := e.stats
 	for _, list := range e.cache.byNode {
 		s.Entries += len(list)
@@ -251,13 +251,9 @@ func (e *Engine) Stats() EngineStats {
 	return s
 }
 
-// Snapshot is an alias for Stats, matching the Invalidate/Snapshot API
-// naming used by callers that pair a stats snapshot with invalidation.
-func (e *Engine) Snapshot() EngineStats { return e.Stats() }
-
 // ResetStats zeroes the cache counters and returns the previous values.
 // The cache contents are untouched.
-func (e *Engine) ResetStats() EngineStats {
+func (e *CachedEngine) ResetStats() EngineStats {
 	s := e.Stats()
 	e.stats = EngineStats{}
 	return s
@@ -265,7 +261,7 @@ func (e *Engine) ResetStats() EngineStats {
 
 // InvalidateAll marks every cached CLV stale. Entry buffers are kept for
 // reuse.
-func (e *Engine) InvalidateAll() {
+func (e *CachedEngine) InvalidateAll() {
 	for _, list := range e.cache.byNode {
 		for _, ent := range list {
 			ent.filled = false
@@ -279,14 +275,14 @@ func (e *Engine) InvalidateAll() {
 // pointing away from it. The two CLVs (a seen from b) and (b seen from a)
 // do not depend on the edge's own length and stay valid. Use this after
 // mutating branch lengths directly instead of through tree.SetLen.
-func (e *Engine) InvalidateEdge(a, b *tree.Node) {
+func (e *CachedEngine) InvalidateEdge(a, b *tree.Node) {
 	e.invalAway(a, b)
 	e.invalAway(b, a)
 }
 
 // invalAway walks outward from x (not crossing back toward `from`),
 // marking every directed entry that looks across x toward `from`'s side.
-func (e *Engine) invalAway(x, from *tree.Node) {
+func (e *CachedEngine) invalAway(x, from *tree.Node) {
 	for _, nb := range x.Nbr {
 		if nb == from {
 			continue

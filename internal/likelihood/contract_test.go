@@ -1,0 +1,214 @@
+package likelihood
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/seq"
+	"repro/internal/tree"
+)
+
+// newContractEngine builds a registered backend by name over the given
+// rows, failing the test on construction errors.
+func newContractEngine(t *testing.T, name string, rows ...string) (Engine, *seq.Patterns) {
+	t.Helper()
+	p, _ := mkPatterns(t, rows...)
+	m, err := model.NewF84(seq.EmpiricalFreqsPatterns(p), 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(name, m, p, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { CloseEngine(eng) })
+	return eng, p
+}
+
+// TestEngineContractDegenerate runs every registered backend through the
+// degenerate inputs the Engine interface documents as legal: a 2-taxon
+// tree (the smallest evaluable topology), an alignment that compresses to
+// a single pattern, and a zero-length branch. Each backend must evaluate,
+// report per-site vectors of the right shape, and optimize without error;
+// optimized lengths must respect the [MinBranchLength, MaxBranchLength]
+// bounds.
+func TestEngineContractDegenerate(t *testing.T) {
+	for _, name := range Engines() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Run("two-taxon", func(t *testing.T) {
+				eng, p := newContractEngine(t, name,
+					"ACGTACGTAC",
+					"ACGTTCGAAC",
+				)
+				tr := tree.New(taxaNames(2))
+				if _, err := tr.GraftPair(0, 1, 0.05); err != nil {
+					t.Fatal(err)
+				}
+				lnL, err := eng.LogLikelihood(tr)
+				if err != nil {
+					t.Fatalf("LogLikelihood: %v", err)
+				}
+				if !(lnL < 0) || math.IsInf(lnL, 0) || math.IsNaN(lnL) {
+					t.Fatalf("lnL = %g, want finite negative", lnL)
+				}
+				sites, err := eng.SiteLogLikelihoods(tr)
+				if err != nil {
+					t.Fatalf("SiteLogLikelihoods: %v", err)
+				}
+				if len(sites) != p.NumPatterns() {
+					t.Fatalf("%d site lnLs, want %d", len(sites), p.NumPatterns())
+				}
+				ed := tr.Edges()[0]
+				optLnL, err := eng.OptimizeEdge(tr, ed)
+				if err != nil {
+					t.Fatalf("OptimizeEdge: %v", err)
+				}
+				if optLnL < lnL-1e-9 {
+					t.Fatalf("OptimizeEdge worsened lnL: %g -> %g", lnL, optLnL)
+				}
+				if z := ed.Length(); z < MinBranchLength || z > MaxBranchLength {
+					t.Fatalf("optimized length %g outside [%g, %g]", z, MinBranchLength, MaxBranchLength)
+				}
+			})
+
+			t.Run("single-pattern", func(t *testing.T) {
+				// Every column identical: compresses to one pattern.
+				eng, p := newContractEngine(t, name,
+					"AAAA",
+					"CCCC",
+					"GGGG",
+					"TTTT",
+				)
+				if p.NumPatterns() != 1 {
+					t.Fatalf("%d patterns, want 1", p.NumPatterns())
+				}
+				rng := rand.New(rand.NewSource(7))
+				tr, err := tree.RandomTree(taxaNames(4), rng, 0.1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lnL, err := eng.LogLikelihood(tr)
+				if err != nil {
+					t.Fatalf("LogLikelihood: %v", err)
+				}
+				sites, err := eng.SiteLogLikelihoods(tr)
+				if err != nil {
+					t.Fatalf("SiteLogLikelihoods: %v", err)
+				}
+				if len(sites) != 1 {
+					t.Fatalf("%d site lnLs, want 1", len(sites))
+				}
+				if !withinTol(sites[0]*p.Weights[0], lnL, 1e-12, 1e-10) {
+					t.Fatalf("weighted site lnL %g != total %g", sites[0]*p.Weights[0], lnL)
+				}
+				if _, err := eng.OptimizeBranches(tr, OptOptions{Passes: 2}); err != nil {
+					t.Fatalf("OptimizeBranches: %v", err)
+				}
+			})
+
+			t.Run("zero-length-branch", func(t *testing.T) {
+				eng, _ := newContractEngine(t, name,
+					"ACGTACGTACGTACGT",
+					"ACGTTCGAACGTACGA",
+					"ACCTACGTAGGTACGT",
+					"TCGTACGTACGTCCGT",
+				)
+				rng := rand.New(rand.NewSource(11))
+				tr, err := tree.RandomTree(taxaNames(4), rng, 0.1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ed := tr.Edges()[0]
+				tree.SetLen(ed.A, ed.B, 0)
+				lnL, err := eng.LogLikelihood(tr)
+				if err != nil {
+					t.Fatalf("LogLikelihood: %v", err)
+				}
+				if math.IsInf(lnL, 0) || math.IsNaN(lnL) {
+					t.Fatalf("lnL = %g with zero-length branch", lnL)
+				}
+				if _, err := eng.OptimizeEdge(tr, ed); err != nil {
+					t.Fatalf("OptimizeEdge: %v", err)
+				}
+				if z := ed.Length(); z < MinBranchLength {
+					t.Fatalf("optimized length %g below MinBranchLength", z)
+				}
+			})
+		})
+	}
+}
+
+// TestEngineContractErrors asserts that every registered backend reports
+// the documented sentinel errors (errors.Is-matchable), so the dispatch
+// layer's retryable/fatal classification works regardless of backend.
+func TestEngineContractErrors(t *testing.T) {
+	rows := []string{
+		"ACGTACGTAC",
+		"ACGTTCGAAC",
+		"ACCTACGTAG",
+		"TCGTACGTAC",
+	}
+	for _, name := range Engines() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			eng, _ := newContractEngine(t, name, rows...)
+			rng := rand.New(rand.NewSource(5))
+			tr, err := tree.RandomTree(taxaNames(4), rng, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// A tree over the wrong taxa set. (Partial trees over the right
+			// set are legal — stepwise addition evaluates them.)
+			wrong := tree.New(taxaNames(5))
+			if _, err := wrong.GraftPair(0, 1, 0.05); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.LogLikelihood(wrong); !errors.Is(err, ErrTreeMismatch) {
+				t.Errorf("LogLikelihood(wrong taxa set) = %v, want ErrTreeMismatch", err)
+			}
+
+			// An edge whose endpoints are not neighbors.
+			ed := tr.Edges()[0]
+			var far *tree.Node
+			for _, n := range tr.Nodes {
+				if n != nil && n != ed.A && ed.A.NbrIndex(n) < 0 {
+					far = n
+					break
+				}
+			}
+			if far == nil {
+				t.Fatal("no non-adjacent node found")
+			}
+			if _, err := eng.OptimizeEdge(tr, tree.Edge{A: ed.A, B: far}); !errors.Is(err, ErrEdgeNotFound) {
+				t.Errorf("OptimizeEdge(non-edge) = %v, want ErrEdgeNotFound", err)
+			}
+
+			// Insertion of a taxon outside the data set, and of one already
+			// in the base tree.
+			base := tr.Clone()
+			if err := base.RemoveLeaf(3); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.NewInsertScorer(base, 99); !errors.Is(err, ErrTaxonOutsideData) {
+				t.Errorf("NewInsertScorer(taxon 99) = %v, want ErrTaxonOutsideData", err)
+			}
+			if _, err := eng.NewInsertScorer(base, 0); !errors.Is(err, ErrTaxonInTree) {
+				t.Errorf("NewInsertScorer(present taxon) = %v, want ErrTaxonInTree", err)
+			}
+
+			// The happy path still works after the failures above.
+			sc, err := eng.NewInsertScorer(base, 3)
+			if err != nil {
+				t.Fatalf("NewInsertScorer: %v", err)
+			}
+			if _, err := sc.Score(base.Edges()[0], 2); err != nil {
+				t.Fatalf("Score: %v", err)
+			}
+		})
+	}
+}

@@ -85,9 +85,13 @@ type clvRef struct {
 	sc  []int32
 }
 
-// Engine computes log-likelihoods of trees over one fixed data set and
-// model. An Engine is not safe for concurrent use; each worker owns one.
-type Engine struct {
+// CachedEngine is the production Engine implementation: Felsenstein
+// pruning over a per-directed-edge CLV cache with SoA storage, sharded
+// multi-core kernels, optional AVX2 acceleration, and a float32 CLV
+// mode. It is registered in the engine registry as "cached" (the
+// default backend). A CachedEngine is not safe for concurrent use; each
+// worker owns one.
+type CachedEngine struct {
 	mdl model.Model
 	pat *seq.Patterns
 
@@ -177,7 +181,7 @@ type Engine struct {
 // outermost invocation, nothing in the kernels, and no closure (use as
 // `defer e.endEval(e.beginEval())`, which Go open-codes without
 // allocating).
-func (e *Engine) beginEval() time.Time {
+func (e *CachedEngine) beginEval() time.Time {
 	e.evalDepth++
 	if e.evalDepth > 1 {
 		return time.Time{}
@@ -185,7 +189,7 @@ func (e *Engine) beginEval() time.Time {
 	return time.Now()
 }
 
-func (e *Engine) endEval(start time.Time) {
+func (e *CachedEngine) endEval(start time.Time) {
 	e.evalDepth--
 	if e.evalDepth == 0 {
 		e.stats.EvalTime += time.Since(start)
@@ -194,7 +198,7 @@ func (e *Engine) endEval(start time.Time) {
 
 // New builds a float64 (exact-mode) engine for the given model and
 // compressed patterns.
-func New(m model.Model, p *seq.Patterns) (*Engine, error) {
+func New(m model.Model, p *seq.Patterns) (*CachedEngine, error) {
 	return NewWithPrecision(m, p, Float64)
 }
 
@@ -203,11 +207,11 @@ func New(m model.Model, p *seq.Patterns) (*Engine, error) {
 // trades a documented accuracy tolerance (precision.go) for half the CLV
 // memory traffic. Reductions (log-likelihood, Newton derivatives) always
 // accumulate in float64 regardless of precision.
-func NewWithPrecision(m model.Model, p *seq.Patterns, prec Precision) (*Engine, error) {
+func NewWithPrecision(m model.Model, p *seq.Patterns, prec Precision) (*CachedEngine, error) {
 	if p.NumPatterns() == 0 {
 		return nil, fmt.Errorf("likelihood: empty pattern set")
 	}
-	e := &Engine{
+	e := &CachedEngine{
 		mdl:    m,
 		pat:    p,
 		freqs:  m.Freqs(),
@@ -341,31 +345,31 @@ func NewWithPrecision(m model.Model, p *seq.Patterns, prec Precision) (*Engine, 
 }
 
 // Model returns the engine's substitution model.
-func (e *Engine) Model() model.Model { return e.mdl }
+func (e *CachedEngine) Model() model.Model { return e.mdl }
 
 // Patterns returns the engine's data set.
-func (e *Engine) Patterns() *seq.Patterns { return e.pat }
+func (e *CachedEngine) Patterns() *seq.Patterns { return e.pat }
 
 // Precision returns the engine's CLV storage precision.
-func (e *Engine) Precision() Precision { return e.prec }
+func (e *CachedEngine) Precision() Precision { return e.prec }
 
 // Ops returns the cumulative pattern-level work counter.
-func (e *Engine) Ops() uint64 { return e.ops }
+func (e *CachedEngine) Ops() uint64 { return e.ops }
 
 // ResetOps zeroes the work counter and returns the previous value.
-func (e *Engine) ResetOps() uint64 {
+func (e *CachedEngine) ResetOps() uint64 {
 	v := e.ops
 	e.ops = 0
 	return v
 }
 
 // ensureBuffers sizes the cache's per-node index for node IDs < n.
-func (e *Engine) ensureBuffers(n int) {
+func (e *CachedEngine) ensureBuffers(n int) {
 	e.cache.grow(n)
 }
 
 // tipRef returns the tip CLV view for a taxon at the engine's precision.
-func (e *Engine) tipRef(taxon int) clvRef {
+func (e *CachedEngine) tipRef(taxon int) clvRef {
 	if e.prec == Float32 {
 		return clvRef{f32: e.tips32[taxon], sc: e.zeroScale}
 	}
@@ -374,17 +378,17 @@ func (e *Engine) tipRef(taxon int) clvRef {
 
 // fillProbs computes the per-class transition matrices for branch length
 // z, mirroring them into float32 when the engine stores float32 CLVs.
-func (e *Engine) fillProbs(z float64) {
+func (e *CachedEngine) fillProbs(z float64) {
 	e.fillProbsInto(e.pmat, e.pmat32, z)
 }
 
 // fillProbsB fills the second matrix set used by the two-child fused
 // combine (combine2Into needs both edges' matrices live at once).
-func (e *Engine) fillProbsB(z float64) {
+func (e *CachedEngine) fillProbsB(z float64) {
 	e.fillProbsInto(e.pmatB, e.pmat32B, z)
 }
 
-func (e *Engine) fillProbsInto(dst []model.PMatrix, dst32 [][4][4]float32, z float64) {
+func (e *CachedEngine) fillProbsInto(dst []model.PMatrix, dst32 [][4][4]float32, z float64) {
 	for ci, r := range e.classRates {
 		e.decomp.Probs(z, r, &dst[ci])
 	}
@@ -403,7 +407,7 @@ func (e *Engine) fillProbsInto(dst []model.PMatrix, dst32 [][4][4]float32, z flo
 
 // fillProbsDeriv computes matrices and derivatives for branch length z.
 // Derivative kernels reduce in float64, so no float32 mirror is needed.
-func (e *Engine) fillProbsDeriv(z float64) {
+func (e *CachedEngine) fillProbsDeriv(z float64) {
 	for ci, r := range e.classRates {
 		e.decomp.ProbsDeriv(z, r, &e.pmat[ci], &e.dmat[ci], &e.ddmat[ci])
 	}
@@ -427,7 +431,7 @@ func clampLen(z float64) float64 {
 // fused into the same pass: the final values are checked and scaled in
 // registers before the store, saving a whole read-modify-write sweep of
 // dst per CLV fill (bit-identical to a separate rescale pass).
-func (e *Engine) combineInto(dst, src clvRef, z float64, first, resc bool) {
+func (e *CachedEngine) combineInto(dst, src clvRef, z float64, first, resc bool) {
 	e.fillProbs(clampLen(z))
 	e.ops += uint64(e.npat) * 16
 	k := &e.kern
@@ -449,7 +453,7 @@ func (e *Engine) combineInto(dst, src clvRef, z float64, first, resc bool) {
 // of an inner node with exactly two children — in a single kernel pass:
 // dst = (P(za)·a) ⊙ (P(zb)·b) with rescaling fused, never materializing
 // the first child's product. Bit-identical to the first/mul sequence.
-func (e *Engine) combine2Into(dst, a, b clvRef, za, zb float64) {
+func (e *CachedEngine) combine2Into(dst, a, b clvRef, za, zb float64) {
 	e.fillProbs(clampLen(za))
 	e.fillProbsB(clampLen(zb))
 	for ci := range e.bc2 {
@@ -476,7 +480,7 @@ func (e *Engine) combine2Into(dst, a, b clvRef, za, zb float64) {
 // unchanged; only stale vectors are recombined. The returned buffers are
 // owned by the cache and valid until the next fill of the same directed
 // edge.
-func (e *Engine) partial(n, parent *tree.Node) (clvRef, uint64) {
+func (e *CachedEngine) partial(n, parent *tree.Node) (clvRef, uint64) {
 	if n.Leaf() {
 		return e.tipRef(n.Taxon), tipGen
 	}
@@ -546,14 +550,14 @@ func (e *Engine) partial(n, parent *tree.Node) (clvRef, uint64) {
 
 // downPartial is the uncached-era name for partial, kept for in-package
 // tests; it returns the (possibly cached) directed-edge CLV view.
-func (e *Engine) downPartial(n, parent *tree.Node) clvRef {
+func (e *CachedEngine) downPartial(n, parent *tree.Node) clvRef {
 	ref, _ := e.partial(n, parent)
 	return ref
 }
 
 // edgeLogLikelihood combines the two directed partials of edge (a,b) at
 // branch length z into the total log-likelihood.
-func (e *Engine) edgeLogLikelihood(a, b clvRef, z float64) float64 {
+func (e *CachedEngine) edgeLogLikelihood(a, b clvRef, z float64) float64 {
 	e.fillProbs(clampLen(z))
 	e.ops += uint64(e.npat) * 20
 	k := &e.kern
@@ -573,7 +577,7 @@ func (e *Engine) edgeLogLikelihood(a, b clvRef, z float64) float64 {
 // branch length. The tree must contain at least two leaves whose taxa are
 // covered by the data set. Evaluation is incremental: only conditional
 // likelihood vectors invalidated since the previous call are recomputed.
-func (e *Engine) LogLikelihood(t *tree.Tree) (float64, error) {
+func (e *CachedEngine) LogLikelihood(t *tree.Tree) (float64, error) {
 	defer e.endEval(e.beginEval())
 	if err := e.checkTree(t); err != nil {
 		return 0, err
@@ -594,7 +598,7 @@ func (e *Engine) LogLikelihood(t *tree.Tree) (float64, error) {
 // by DNArates-style per-site estimation. The returned slice is owned by
 // the engine and overwritten by the next call; callers that retain it
 // across calls must copy.
-func (e *Engine) SiteLogLikelihoods(t *tree.Tree) ([]float64, error) {
+func (e *CachedEngine) SiteLogLikelihoods(t *tree.Tree) ([]float64, error) {
 	defer e.endEval(e.beginEval())
 	if err := e.checkTree(t); err != nil {
 		return nil, err
@@ -618,9 +622,16 @@ func (e *Engine) SiteLogLikelihoods(t *tree.Tree) ([]float64, error) {
 }
 
 // checkTree verifies the tree is usable with this data set.
-func (e *Engine) checkTree(t *tree.Tree) error {
-	if len(t.Taxa) != e.pat.NumSeqs() {
-		return fmt.Errorf("likelihood: tree over %d taxa, data has %d sequences", len(t.Taxa), e.pat.NumSeqs())
+func (e *CachedEngine) checkTree(t *tree.Tree) error {
+	return checkTreeData(t, e.pat)
+}
+
+// checkTreeData is the tree/data compatibility check shared by every
+// in-tree engine, wrapping the typed sentinels so callers can classify.
+func checkTreeData(t *tree.Tree, pat *seq.Patterns) error {
+	if len(t.Taxa) != pat.NumSeqs() {
+		return fmt.Errorf("likelihood: tree over %d taxa, data has %d sequences: %w",
+			len(t.Taxa), pat.NumSeqs(), ErrTreeMismatch)
 	}
 	n := 0
 	for _, node := range t.Nodes {
@@ -628,14 +639,14 @@ func (e *Engine) checkTree(t *tree.Tree) error {
 			continue
 		}
 		if node.Leaf() {
-			if node.Taxon >= e.pat.NumSeqs() {
-				return fmt.Errorf("likelihood: leaf taxon %d outside data set", node.Taxon)
+			if node.Taxon >= pat.NumSeqs() {
+				return fmt.Errorf("likelihood: leaf taxon %d: %w", node.Taxon, ErrTaxonOutsideData)
 			}
 			n++
 		}
 	}
 	if n < 2 {
-		return fmt.Errorf("likelihood: tree has %d leaves, need at least 2", n)
+		return fmt.Errorf("likelihood: tree has %d leaves, need at least 2: %w", n, ErrTreeMismatch)
 	}
 	return nil
 }

@@ -28,7 +28,7 @@ func mkPatterns(t *testing.T, rows ...string) (*seq.Patterns, *seq.Alignment) {
 	return p, a
 }
 
-func mkEngine(t *testing.T, m model.Model, rows ...string) *Engine {
+func mkEngine(t *testing.T, m model.Model, rows ...string) *CachedEngine {
 	t.Helper()
 	p, _ := mkPatterns(t, rows...)
 	e, err := New(m, p)

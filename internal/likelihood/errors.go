@@ -1,0 +1,30 @@
+package likelihood
+
+import "errors"
+
+// Typed sentinel errors shared by every Engine implementation. Callers —
+// notably the mlsearch foreman, which must decide whether a failed task
+// is retryable on another worker or fatal to the whole run — classify
+// failures with errors.Is against these values instead of matching
+// message strings. Engines wrap them (fmt.Errorf with %w) to add the
+// offending IDs, so the sentinel survives the decoration.
+var (
+	// ErrEdgeNotFound reports an OptimizeEdge or InsertScorer.Score call
+	// whose edge endpoints are not neighbors in the tree. The tree was
+	// edited (or the edge fabricated) after the edge was captured; the
+	// request is deterministic nonsense, not a transient fault.
+	ErrEdgeNotFound = errors.New("edge does not exist in tree")
+
+	// ErrTaxonOutsideData reports a taxon index outside the engine's
+	// data set (NewInsertScorer with taxon < 0 or >= NumSeqs, or a tree
+	// leaf labeled past the alignment).
+	ErrTaxonOutsideData = errors.New("taxon outside data set")
+
+	// ErrTaxonInTree reports NewInsertScorer called for a taxon the base
+	// tree already contains.
+	ErrTaxonInTree = errors.New("taxon already in base tree")
+
+	// ErrTreeMismatch reports a tree the engine cannot evaluate at all:
+	// wrong taxon count for the data set, or fewer than two leaves.
+	ErrTreeMismatch = errors.New("tree incompatible with data set")
+)

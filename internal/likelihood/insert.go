@@ -27,13 +27,13 @@ type InsertScore struct {
 	LenA, LenB, LenLeaf float64
 }
 
-// InsertScorer scores candidate insertions of one taxon into one base
-// tree. It is bound to the engine that created it and is not safe for
-// concurrent use. The base tree must not be mutated between Score calls.
-// Scorers share their engine's arena scratch, so only the most recently
-// created scorer of an engine may be used.
-type InsertScorer struct {
-	e     *Engine
+// cachedInsertScorer is the CachedEngine's InsertScorer: it draws the
+// insertion edge's directed partials from the CLV cache and reuses the
+// engine's arena scratch, so only the most recently created scorer of an
+// engine may be used. The base tree must not be mutated between Score
+// calls. Not safe for concurrent use.
+type cachedInsertScorer struct {
+	e     *CachedEngine
 	t     *tree.Tree
 	taxon int
 
@@ -44,15 +44,15 @@ type InsertScorer struct {
 
 // NewInsertScorer prepares scoring of candidate insertions of taxon into
 // base. The taxon must be covered by the data set and absent from base.
-func (e *Engine) NewInsertScorer(base *tree.Tree, taxon int) (*InsertScorer, error) {
+func (e *CachedEngine) NewInsertScorer(base *tree.Tree, taxon int) (InsertScorer, error) {
 	if err := e.checkTree(base); err != nil {
 		return nil, err
 	}
 	if taxon < 0 || taxon >= e.pat.NumSeqs() {
-		return nil, fmt.Errorf("likelihood: insert taxon %d outside data set", taxon)
+		return nil, fmt.Errorf("likelihood: insert taxon %d: %w", taxon, ErrTaxonOutsideData)
 	}
 	if base.LeafByTaxon(taxon) != nil {
-		return nil, fmt.Errorf("likelihood: taxon %d already in base tree", taxon)
+		return nil, fmt.Errorf("likelihood: insert taxon %d: %w", taxon, ErrTaxonInTree)
 	}
 	e.ensureBuffers(base.MaxID())
 	if e.insJ.sc == nil {
@@ -66,7 +66,7 @@ func (e *Engine) NewInsertScorer(base *tree.Tree, taxon int) (*InsertScorer, err
 			e.insRest.f64 = make([]float64, 4*e.npad)
 		}
 	}
-	return &InsertScorer{
+	return &cachedInsertScorer{
 		e: e, t: base, taxon: taxon,
 		j: e.insJ, rest: e.insRest,
 	}, nil
@@ -77,11 +77,11 @@ func (e *Engine) NewInsertScorer(base *tree.Tree, taxon int) (*InsertScorer, err
 // half, the leaf branch at DefaultBranchLength) and then Newton-optimizing
 // the three junction branches for the given number of passes (minimum 1).
 // The base tree is not modified.
-func (s *InsertScorer) Score(ed tree.Edge, passes int) (InsertScore, error) {
+func (s *cachedInsertScorer) Score(ed tree.Edge, passes int) (InsertScore, error) {
 	defer s.e.endEval(s.e.beginEval())
 	a, b := ed.A, ed.B
 	if a.NbrIndex(b) < 0 {
-		return InsertScore{}, fmt.Errorf("likelihood: insertion edge %d-%d does not exist", a.ID, b.ID)
+		return InsertScore{}, fmt.Errorf("likelihood: insertion edge %d-%d: %w", a.ID, b.ID, ErrEdgeNotFound)
 	}
 	if passes <= 0 {
 		passes = 1

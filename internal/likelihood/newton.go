@@ -60,7 +60,7 @@ func (o OptOptions) withDefaults() OptOptions {
 // OptimizeBranches optimizes branch lengths in place and returns the final
 // log-likelihood. With Around/Centers set, only nearby branches are
 // optimized but the returned value is still the full-tree log-likelihood.
-func (e *Engine) OptimizeBranches(t *tree.Tree, opt OptOptions) (float64, error) {
+func (e *CachedEngine) OptimizeBranches(t *tree.Tree, opt OptOptions) (float64, error) {
 	defer e.endEval(e.beginEval())
 	opt = opt.withDefaults()
 	if err := e.checkTree(t); err != nil {
@@ -145,7 +145,7 @@ func edgeKey(a, b *tree.Node) [2]int {
 // Children are visited in node-ID order (Nbr order is not stable across
 // topology edits) so the sequence of Newton updates — and therefore the
 // exact optimized lengths — is independent of the tree's edit history.
-func (e *Engine) smoothPass(anchor *tree.Node, allowed map[[2]int]bool) {
+func (e *CachedEngine) smoothPass(anchor *tree.Node, allowed map[[2]int]bool) {
 	var visit func(u, p *tree.Node)
 	visit = func(u, p *tree.Node) {
 		if allowed == nil || allowed[edgeKey(p, u)] {
@@ -185,7 +185,7 @@ func childrenByID(u, p *tree.Node) []*tree.Node {
 // iterates, z0 included, so the result is never worse than the start —
 // the accept/reject guard reuses the likelihood values edgeDerivatives
 // already computes instead of paying two extra evaluation passes.
-func (e *Engine) newtonEdge(a, b clvRef, z0 float64) float64 {
+func (e *CachedEngine) newtonEdge(a, b clvRef, z0 float64) float64 {
 	z := clampLen(z0)
 	bestZ, bestL := z, math.Inf(-1)
 	for iter := 0; iter < newtonMaxIter; iter++ {
@@ -194,32 +194,8 @@ func (e *Engine) newtonEdge(a, b clvRef, z0 float64) float64 {
 		if lnl > bestL {
 			bestL, bestZ = lnl, z
 		}
-		var next float64
-		if d2 < 0 {
-			next = z - d1/d2
-		} else {
-			// Not locally concave: move geometrically in the gradient
-			// direction (the likelihood is convex in z when the optimum
-			// sits at a bound, e.g. identical sequences).
-			if d1 > 0 {
-				next = z * 8
-			} else {
-				next = z / 8
-			}
-		}
-		if math.IsNaN(next) || math.IsInf(next, 0) {
-			break
-		}
-		next = clampLen(next)
-		// Dampen huge Newton jumps (fastDNAml limits the step as well).
-		if next > 8*z {
-			next = 8 * z
-		}
-		if next < z/8 {
-			next = z / 8
-		}
-		next = clampLen(next)
-		if math.Abs(next-z) < newtonTol*(z+newtonTol) {
+		next, stop := newtonStep(z, d1, d2)
+		if stop {
 			break
 		}
 		z = next
@@ -227,11 +203,49 @@ func (e *Engine) newtonEdge(a, b clvRef, z0 float64) float64 {
 	return bestZ
 }
 
+// newtonStep computes the next Newton iterate for a branch length from
+// the current iterate and the first/second derivatives of the edge
+// log-likelihood, reporting stop=true when iteration should end (an
+// unusable step or convergence within newtonTol). It is a pure function
+// shared by every in-tree engine so backends walk bit-identical iterate
+// sequences from identical derivatives.
+func newtonStep(z, d1, d2 float64) (float64, bool) {
+	var next float64
+	if d2 < 0 {
+		next = z - d1/d2
+	} else {
+		// Not locally concave: move geometrically in the gradient
+		// direction (the likelihood is convex in z when the optimum
+		// sits at a bound, e.g. identical sequences).
+		if d1 > 0 {
+			next = z * 8
+		} else {
+			next = z / 8
+		}
+	}
+	if math.IsNaN(next) || math.IsInf(next, 0) {
+		return z, true
+	}
+	next = clampLen(next)
+	// Dampen huge Newton jumps (fastDNAml limits the step as well).
+	if next > 8*z {
+		next = 8 * z
+	}
+	if next < z/8 {
+		next = z / 8
+	}
+	next = clampLen(next)
+	if math.Abs(next-z) < newtonTol*(z+newtonTol) {
+		return next, true
+	}
+	return next, false
+}
+
 // edgeDerivatives computes d/dz and d²/dz² of the edge log-likelihood at
 // z, plus the log-likelihood itself (the log factors fall out of the
 // derivative terms, so the value costs only the per-pattern log the
 // guard in newtonEdge would otherwise pay for separately).
-func (e *Engine) edgeDerivatives(a, b clvRef, z float64) (float64, float64, float64) {
+func (e *CachedEngine) edgeDerivatives(a, b clvRef, z float64) (float64, float64, float64) {
 	e.fillProbsDeriv(clampLen(z))
 	e.ops += uint64(e.npat) * 48
 	k := &e.kern
@@ -251,13 +265,13 @@ func (e *Engine) edgeDerivatives(a, b clvRef, z float64) (float64, float64, floa
 // OptimizeEdge optimizes a single edge's branch length in place and
 // returns the resulting full-tree log-likelihood. Exposed for tests and
 // fine-grained use.
-func (e *Engine) OptimizeEdge(t *tree.Tree, ed tree.Edge) (float64, error) {
+func (e *CachedEngine) OptimizeEdge(t *tree.Tree, ed tree.Edge) (float64, error) {
 	defer e.endEval(e.beginEval())
 	if err := e.checkTree(t); err != nil {
 		return 0, err
 	}
 	if ed.A.NbrIndex(ed.B) < 0 {
-		return 0, fmt.Errorf("likelihood: edge %d-%d does not exist", ed.A.ID, ed.B.ID)
+		return 0, fmt.Errorf("likelihood: edge %d-%d: %w", ed.A.ID, ed.B.ID, ErrEdgeNotFound)
 	}
 	e.ensureBuffers(t.MaxID())
 	a, _ := e.partial(ed.A, ed.B)

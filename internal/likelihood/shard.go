@@ -100,14 +100,14 @@ type kernArgs struct {
 // the calling goroutine. Shards are claimed by an atomic counter, so a
 // slow core never strands work pinned to it.
 type shardPool struct {
-	e    *Engine
+	e    *CachedEngine
 	wake []chan struct{}
 	quit chan struct{}
 	next atomic.Int64
 	wg   sync.WaitGroup
 }
 
-func newShardPool(e *Engine, workers int) *shardPool {
+func newShardPool(e *CachedEngine, workers int) *shardPool {
 	p := &shardPool{e: e, quit: make(chan struct{})}
 	p.wake = make([]chan struct{}, workers)
 	for i := range p.wake {
@@ -158,13 +158,13 @@ func (p *shardPool) stop() { close(p.quit) }
 // SetThreads sizes the engine's kernel pool to n threads (the caller
 // plus n-1 persistent goroutines); n <= 1 restores single-threaded
 // operation. It must not be called while an evaluation is in progress.
-// Results are bit-identical for every n. Returns the engine for chaining.
-func (e *Engine) SetThreads(n int) *Engine {
+// Results are bit-identical for every n.
+func (e *CachedEngine) SetThreads(n int) {
 	if n < 1 {
 		n = 1
 	}
 	if n == e.threads {
-		return e
+		return
 	}
 	if e.pool != nil {
 		e.pool.stop()
@@ -174,16 +174,15 @@ func (e *Engine) SetThreads(n int) *Engine {
 	if n > 1 {
 		e.pool = newShardPool(e, n-1)
 	}
-	return e
 }
 
 // Threads reports the engine's configured kernel thread count.
-func (e *Engine) Threads() int { return e.threads }
+func (e *CachedEngine) Threads() int { return e.threads }
 
 // Close releases the engine's kernel pool goroutines. It is a no-op for
 // single-threaded engines; threaded engines should be closed when no
 // longer needed.
-func (e *Engine) Close() {
+func (e *CachedEngine) Close() {
 	if e.pool != nil {
 		e.pool.stop()
 		e.pool = nil
@@ -192,7 +191,7 @@ func (e *Engine) Close() {
 }
 
 // runShards executes the kernel described by e.kern over every shard.
-func (e *Engine) runShards() {
+func (e *CachedEngine) runShards() {
 	if e.pool == nil {
 		for s := range e.shards {
 			e.shardKernel(s)
@@ -211,7 +210,7 @@ func (e *Engine) runShards() {
 // reductions always accumulate in float64 with one accumulator threaded
 // through the whole shard, so the summation grouping matches the
 // pre-SoA engine exactly.
-func (e *Engine) shardKernel(s int) {
+func (e *CachedEngine) shardKernel(s int) {
 	k := &e.kern
 	segs := e.shards[s].segs
 	freqs := (*[4]float64)(&e.freqs)

@@ -33,7 +33,16 @@ type DataBundle struct {
 	// (zero value = likelihood.Float64). A worker started with an
 	// explicit -precision flag overrides it locally.
 	Precision likelihood.Precision
+	// Engine names the likelihood backend workers should build (see
+	// likelihood.Engines; empty = likelihood.DefaultEngine). A worker
+	// started with an explicit -engine flag overrides it locally.
+	Engine string
 }
+
+// Extension tags of the DataBundle envelope.
+const (
+	extBundleEngine byte = 1 + iota
+)
 
 const (
 	bootData    byte = 0x44 // 'D'
@@ -55,6 +64,9 @@ func MarshalDataBundle(b DataBundle) []byte {
 		w.f64(x)
 	}
 	w.i32(int32(b.Precision))
+	if b.Engine != "" {
+		w.ext(extBundleEngine, []byte(b.Engine))
+	}
 	return w.buf
 }
 
@@ -77,6 +89,14 @@ func UnmarshalDataBundle(data []byte) (DataBundle, error) {
 		b.Weights = append(b.Weights, r.f64("bundle weight"))
 	}
 	b.Precision = likelihood.Precision(r.i32("bundle precision"))
+	if err := r.extFields("bundle extension", func(tag byte, payload []byte) {
+		switch tag {
+		case extBundleEngine:
+			b.Engine = string(payload)
+		}
+	}); err != nil {
+		return DataBundle{}, err
+	}
 	return b, r.done("data bundle")
 }
 

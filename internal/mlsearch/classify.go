@@ -1,0 +1,22 @@
+package mlsearch
+
+import (
+	"errors"
+
+	"repro/internal/likelihood"
+)
+
+// FatalEvalError reports whether a task-evaluation error is
+// deterministic: caused by the task/data shape itself (a tree that does
+// not match the alignment, a taxon outside the data set, an edge that
+// does not exist in the base tree), so it will recur identically on
+// every worker and every retry. The dispatch machinery treats these as
+// fatal to the run; anything else — transport faults, dropped
+// connections — is retryable and flows through the foreman's
+// requeue/expire ladder instead.
+func FatalEvalError(err error) bool {
+	return errors.Is(err, likelihood.ErrTreeMismatch) ||
+		errors.Is(err, likelihood.ErrTaxonOutsideData) ||
+		errors.Is(err, likelihood.ErrTaxonInTree) ||
+		errors.Is(err, likelihood.ErrEdgeNotFound)
+}

@@ -71,6 +71,13 @@ type Config struct {
 	// bit-identity reference; likelihood.Float32 trades the documented
 	// tolerance (likelihood.Float32*Tol) for half the CLV memory traffic.
 	Precision likelihood.Precision
+
+	// Engine names the likelihood backend used by evaluators this config
+	// builds (see likelihood.Engines for the registered set). Empty
+	// selects likelihood.DefaultEngine, the CLV-cached production
+	// backend; "reference" selects the direct-recomputation engine used
+	// for differential testing. Normalize rejects unknown names.
+	Engine string
 }
 
 // Normalize validates the configuration and fills defaults, returning the
@@ -106,6 +113,11 @@ func (c Config) Normalize() (Config, error) {
 	if c.Threads < 1 {
 		c.Threads = 1
 	}
+	eng, err := likelihood.ParseEngine(c.Engine)
+	if err != nil {
+		return c, fmt.Errorf("mlsearch: %w", err)
+	}
+	c.Engine = eng
 	c.Seed = NormalizeSeed(c.Seed)
 	return c, nil
 }

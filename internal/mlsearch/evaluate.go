@@ -21,7 +21,7 @@ import (
 // bit-identical to freshly computed ones, results do not depend on task
 // order or on which worker evaluates which task.
 type Evaluator struct {
-	eng  *likelihood.Engine
+	eng  likelihood.Engine
 	taxa []string
 
 	// Shared-base state, keyed by the base Newick string.
@@ -32,7 +32,7 @@ type Evaluator struct {
 	// rearrangement evaluation can restore the exact pre-move state.
 	baseLens []edgeLenSnap
 
-	scorer      *likelihood.InsertScorer
+	scorer      likelihood.InsertScorer
 	scorerTaxon int32
 }
 
@@ -41,8 +41,11 @@ type edgeLenSnap struct {
 	l    float64
 }
 
-// NewEvaluator wraps a likelihood engine for task evaluation.
-func NewEvaluator(eng *likelihood.Engine, taxa []string) *Evaluator {
+// NewEvaluator wraps a likelihood engine for task evaluation. Any
+// registered Engine backend works; per-task cache/ops accounting in
+// Results degrades to zeros when the engine does not implement the
+// corresponding capability interfaces.
+func NewEvaluator(eng likelihood.Engine, taxa []string) *Evaluator {
 	return &Evaluator{eng: eng, taxa: taxa, scorerTaxon: -1}
 }
 
@@ -53,8 +56,8 @@ func NewEvaluator(eng *likelihood.Engine, taxa []string) *Evaluator {
 // per-phase latency to the task's trace span.
 func (ev *Evaluator) Evaluate(t Task) (Result, error) {
 	start := time.Now()
-	opsBefore := ev.eng.Ops()
-	statsBefore := ev.eng.Snapshot()
+	opsBefore := likelihood.OpsOf(ev.eng)
+	statsBefore := likelihood.StatsOf(ev.eng)
 
 	var (
 		nwk string
@@ -72,13 +75,13 @@ func (ev *Evaluator) Evaluate(t Task) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	statsAfter := ev.eng.Snapshot()
+	statsAfter := likelihood.StatsOf(ev.eng)
 	return Result{
 		TaskID:      t.ID,
 		Round:       t.Round,
 		Newick:      nwk,
 		LnL:         lnL,
-		Ops:         ev.eng.Ops() - opsBefore,
+		Ops:         likelihood.OpsOf(ev.eng) - opsBefore,
 		CacheHits:   statsAfter.Hits - statsBefore.Hits,
 		CacheMisses: statsAfter.Misses - statsBefore.Misses,
 		NewtonIters: statsAfter.NewtonIters - statsBefore.NewtonIters,

@@ -43,10 +43,14 @@ func KishinoHasegawa(cfg Config, trees []*tree.Tree) ([]KHResult, error) {
 	if len(trees) == 0 {
 		return nil, fmt.Errorf("mlsearch: no trees to compare")
 	}
-	eng, err := likelihood.NewWithPrecision(norm.Model, norm.Patterns, norm.Precision)
+	eng, err := likelihood.NewEngine(norm.Engine, norm.Model, norm.Patterns, likelihood.EngineOptions{
+		Precision: norm.Precision,
+		Threads:   norm.Threads,
+	})
 	if err != nil {
 		return nil, err
 	}
+	defer likelihood.CloseEngine(eng)
 
 	type scored struct {
 		idx    int

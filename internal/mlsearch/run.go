@@ -355,12 +355,12 @@ func runMasterSide(c comm.Communicator, lay Layout, norm Config, opt RunOptions)
 // newInlineEvaluator builds the evaluator the foreman falls back to when
 // the live worker set is empty (TCP degradation ladder, bottom rung).
 func newInlineEvaluator(norm Config) (*Evaluator, error) {
-	eng, err := likelihood.NewWithPrecision(norm.Model, norm.Patterns, norm.Precision)
+	eng, err := likelihood.NewEngine(norm.Engine, norm.Model, norm.Patterns, likelihood.EngineOptions{
+		Precision: norm.Precision,
+		Threads:   norm.Threads,
+	})
 	if err != nil {
 		return nil, err
-	}
-	if norm.Threads > 1 {
-		eng.SetThreads(norm.Threads)
 	}
 	return NewEvaluator(eng, norm.Taxa), nil
 }

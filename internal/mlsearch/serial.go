@@ -18,12 +18,12 @@ func NewSerialDispatcher(cfg Config) (*SerialDispatcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := likelihood.NewWithPrecision(norm.Model, norm.Patterns, norm.Precision)
+	eng, err := likelihood.NewEngine(norm.Engine, norm.Model, norm.Patterns, likelihood.EngineOptions{
+		Precision: norm.Precision,
+		Threads:   norm.Threads,
+	})
 	if err != nil {
 		return nil, err
-	}
-	if norm.Threads > 1 {
-		eng.SetThreads(norm.Threads)
 	}
 	return &SerialDispatcher{ev: NewEvaluator(eng, norm.Taxa)}, nil
 }
@@ -39,15 +39,4 @@ func (d *SerialDispatcher) Dispatch(tasks []Task) ([]Result, error) {
 		out = append(out, r)
 	}
 	return out, nil
-}
-
-// RunSerial performs a complete serial search for the configuration.
-//
-// Deprecated: use Run with RunOptions{Transport: Serial}.
-func RunSerial(cfg Config) (*SearchResult, error) {
-	out, err := Run(cfg, RunOptions{Transport: Serial})
-	if err != nil {
-		return nil, err
-	}
-	return out.Results[0], nil
 }

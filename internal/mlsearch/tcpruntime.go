@@ -2,9 +2,7 @@ package mlsearch
 
 import (
 	"fmt"
-	"io"
 	"math/rand"
-	"net"
 	"strings"
 	"sync"
 	"time"
@@ -35,10 +33,13 @@ func runTCPTransport(cfg Config, opt RunOptions) (*RunOutcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Workers evaluate at the run's precision unless the bundle already
-	// requests one explicitly.
+	// Workers evaluate at the run's precision and with the run's engine
+	// backend unless the bundle already requests them explicitly.
 	if opt.Bundle.Precision == likelihood.Float64 {
 		opt.Bundle.Precision = norm.Precision
+	}
+	if opt.Bundle.Engine == "" {
+		opt.Bundle.Engine = norm.Engine
 	}
 	lay := ElasticLayout(opt.WithMonitor)
 
@@ -257,6 +258,12 @@ func ServeElastic(addr string, hooks WorkerHooks, policy ReconnectPolicy) error 
 			if err == nil {
 				return nil // clean shutdown from the foreman
 			}
+			if FatalEvalError(err) {
+				// Deterministic evaluation failure: the same task would
+				// fail identically after a rejoin, so reconnecting only
+				// loops. Surface it instead.
+				return err
+			}
 		}
 		if policy.Disabled {
 			return err
@@ -287,64 +294,13 @@ func serveConnection(c comm.Communicator, welcome []byte, hooks WorkerHooks) err
 		// was started with an explicit -precision override.
 		hooks.Precision = bundle.Precision
 	}
+	if !hooks.EngineSet {
+		// Likewise the engine backend: workers adopt the master's choice
+		// unless started with an explicit -engine override.
+		hooks.Engine = bundle.Engine
+	}
 	if hooks.OnAttach != nil {
 		hooks.OnAttach(c)
 	}
 	return RunWorker(c, lay, m, pat, taxa, hooks)
-}
-
-// TCPMasterOptions configure RunTCPMaster.
-//
-// Deprecated: use Run with RunOptions{Transport: TCP}.
-type TCPMasterOptions struct {
-	// Addr is the listen address (e.g. ":7946" or "127.0.0.1:0").
-	Addr string
-	// Workers is the number of workers to wait for before starting.
-	Workers int
-	// WithMonitor dedicates a rank to instrumentation.
-	WithMonitor bool
-	// Jumbles is the number of random orderings to run.
-	Jumbles int
-	// Foreman tunes fault tolerance.
-	Foreman ForemanOptions
-	// MonitorOut receives monitor output (nil discards).
-	MonitorOut io.Writer
-	// Bundle is the dataset shipped to joining workers.
-	Bundle DataBundle
-	// Progress receives per-round events.
-	Progress func(int, ProgressEvent)
-	// OnListen, when non-nil, is invoked with the bound address before
-	// waiting for workers (useful with ":0" and for tests).
-	OnListen func(net.Addr)
-}
-
-// RunTCPMaster hosts a distributed run.
-//
-// Deprecated: use Run with RunOptions{Transport: TCP}.
-func RunTCPMaster(cfg Config, opt TCPMasterOptions) (*RunOutcome, error) {
-	return Run(cfg, RunOptions{
-		Transport:   TCP,
-		Addr:        opt.Addr,
-		Workers:     opt.Workers,
-		WithMonitor: opt.WithMonitor,
-		Jumbles:     opt.Jumbles,
-		Foreman:     opt.Foreman,
-		MonitorOut:  opt.MonitorOut,
-		Bundle:      opt.Bundle,
-		Progress:    opt.Progress,
-		OnListen:    opt.OnListen,
-	})
-}
-
-// RunTCPWorker joins a distributed run as one worker and serves until
-// shutdown. The rank, size, and withMonitor arguments of the static
-// runtime are ignored: the router assigns the rank and the welcome
-// payload carries the layout.
-//
-// Deprecated: use ServeElastic.
-func RunTCPWorker(addr string, rank, size int, withMonitor bool, hooks WorkerHooks) error {
-	_ = rank
-	_ = size
-	_ = withMonitor
-	return ServeElastic(addr, hooks, ReconnectPolicy{Disabled: true})
 }

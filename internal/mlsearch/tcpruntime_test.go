@@ -138,6 +138,7 @@ func TestDataBundleCodec(t *testing.T) {
 		SiteRates:  []float64{1, 2, 0.5, 0.5},
 		Weights:    []float64{1, 1, 0, 2},
 		Precision:  likelihood.Float32,
+		Engine:     "reference",
 	}
 	out, err := UnmarshalDataBundle(MarshalDataBundle(in))
 	if err != nil {
@@ -152,8 +153,22 @@ func TestDataBundleCodec(t *testing.T) {
 	if out.Precision != likelihood.Float32 {
 		t.Errorf("precision lost: %v", out.Precision)
 	}
+	if out.Engine != "reference" {
+		t.Errorf("engine lost: %q", out.Engine)
+	}
 	if _, err := UnmarshalDataBundle([]byte{0x00}); err == nil {
 		t.Error("bad kind byte accepted")
+	}
+	// Engine rides in an extension field: a bundle without it (an older
+	// master) must decode cleanly with Engine empty — the worker then
+	// falls back to the default backend.
+	in.Engine = ""
+	out, err = UnmarshalDataBundle(MarshalDataBundle(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Engine != "" {
+		t.Errorf("engine invented: %q", out.Engine)
 	}
 }
 

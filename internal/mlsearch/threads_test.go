@@ -12,7 +12,7 @@ import (
 
 // newThreadedEvaluator builds an evaluator whose engine runs n kernel
 // threads.
-func newThreadedEvaluator(t *testing.T, cfg Config, n int) (*Evaluator, *likelihood.Engine) {
+func newThreadedEvaluator(t *testing.T, cfg Config, n int) (*Evaluator, *likelihood.CachedEngine) {
 	t.Helper()
 	norm, err := cfg.Normalize()
 	if err != nil {

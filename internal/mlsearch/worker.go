@@ -42,19 +42,27 @@ type WorkerHooks struct {
 	// PrecisionSet marks Precision as an explicit per-worker override, so
 	// a worker can be forced to a precision different from the bundle's.
 	PrecisionSet bool
+	// Engine names the likelihood backend the worker builds (see
+	// likelihood.Engines). Empty means likelihood.DefaultEngine; TCP
+	// workers default to the engine the master's data bundle requests
+	// unless the hook was set explicitly (see EngineSet).
+	Engine string
+	// EngineSet marks Engine as an explicit per-worker override, so a
+	// worker can be forced to a backend different from the bundle's.
+	EngineSet bool
 }
 
 // RunWorker executes the worker loop: receive a task from the foreman,
 // evaluate it, send the result back, until a shutdown message arrives.
 func RunWorker(c comm.Communicator, lay Layout, m model.Model, pat *seq.Patterns, taxa []string, hooks WorkerHooks) error {
-	eng, err := likelihood.NewWithPrecision(m, pat, hooks.Precision)
+	eng, err := likelihood.NewEngine(hooks.Engine, m, pat, likelihood.EngineOptions{
+		Precision: hooks.Precision,
+		Threads:   hooks.Threads,
+	})
 	if err != nil {
 		return err
 	}
-	if hooks.Threads > 1 {
-		eng.SetThreads(hooks.Threads)
-	}
-	defer eng.Close()
+	defer likelihood.CloseEngine(eng)
 	ev := NewEvaluator(eng, taxa)
 	hooks.Obs.Attached(c.Rank())
 	for {
@@ -81,7 +89,7 @@ func RunWorker(c comm.Communicator, lay Layout, m model.Model, pat *seq.Patterns
 			}
 			res.Worker = int32(c.Rank())
 			hooks.Obs.Served(res)
-			hooks.Obs.Engine(eng.Threads(), eng.Snapshot().ShardDispatches)
+			hooks.Obs.Engine(likelihood.EngineThreads(eng), likelihood.StatsOf(eng).ShardDispatches)
 			if hooks.BeforeReply != nil && !hooks.BeforeReply(task, res) {
 				continue
 			}
