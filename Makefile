@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race difftest bench bench-compare chaos-soak
+# Version stamped into every binary's -version output (and the daemon's
+# /healthz). Override on release builds: make build VERSION=1.2.0
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -ldflags "-X repro/internal/buildinfo.Version=$(VERSION)"
+
+.PHONY: check vet staticcheck build test race difftest bench bench-compare chaos-soak serve-smoke
 
 # Tier-1 gate: everything that must pass before a change lands.
 check: vet staticcheck build test race difftest
@@ -18,16 +23,17 @@ staticcheck:
 	fi
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 test:
 	$(GO) test ./...
 
 # Race detector over the concurrency-bearing packages (parallel runtime,
-# message passing, and the sharded likelihood kernels — including the
-# float32/float64 precision property tests).
+# message passing, the sharded likelihood kernels — including the
+# float32/float64 precision property tests — the observability plane,
+# and the multi-tenant inference service).
 race:
-	$(GO) test -race ./internal/comm/... ./internal/mlsearch/... ./internal/likelihood/...
+	$(GO) test -race ./internal/comm/... ./internal/mlsearch/... ./internal/likelihood/... ./internal/obs/... ./internal/serve/...
 
 # Differential harness: the cached production engine against the direct
 # recomputation reference engine over seeded randomized trees, models,
@@ -54,6 +60,14 @@ bench:
 bench-compare:
 	FDML_BENCH_DIR=$(CURDIR)/bench $(GO) test -count=1 -run TestKernelBenchJSON ./internal/likelihood/
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline_kernels.json -current bench/BENCH_kernels.json -max-regress 0.10
+
+# Black-box smoke test of the fastdnamld daemon over real HTTP: build
+# the binaries, start a 2-worker daemon, submit a job and its duplicate
+# with curl, assert the duplicate is a zero-dispatch cache hit, the
+# fresh job's tree matches a serial fastdnaml run, and /metrics exposes
+# tenant-labeled counters.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # The chaos soaks under the race detector: elastic membership, plus
 # concurrent jumbles multiplexed over a churning fleet. The membership

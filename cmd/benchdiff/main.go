@@ -15,6 +15,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"repro/internal/buildinfo"
 )
 
 // report is the subset of obs.BenchReport benchdiff consumes.
@@ -29,7 +31,12 @@ func main() {
 		currentPath  = flag.String("current", "bench/BENCH_kernels.json", "current report (freshly measured)")
 		maxRegress   = flag.Float64("max-regress", 0.10, "fail when a kernel is this fraction slower than baseline")
 	)
+	versionFlag := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println("benchdiff", buildinfo.String())
+		return
+	}
 	base, err := load(*baselinePath)
 	if err != nil {
 		fatal(err)

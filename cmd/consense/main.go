@@ -10,6 +10,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/buildinfo"
 	"repro/internal/fileio"
 	"repro/internal/tree"
 	"repro/internal/viewer"
@@ -22,7 +23,12 @@ func main() {
 		outPath   = flag.String("out", "", "write the consensus tree here (default stdout)")
 		ascii     = flag.Bool("ascii", true, "print a text rendering")
 	)
+	versionFlag := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println("consense", buildinfo.String())
+		return
+	}
 	if *treesPath == "" {
 		fmt.Fprintln(os.Stderr, "consense: -trees is required")
 		flag.Usage()

@@ -10,6 +10,7 @@ import (
 	"os"
 	"strconv"
 
+	"repro/internal/buildinfo"
 	"repro/internal/dnarates"
 	"repro/internal/fileio"
 	"repro/internal/mlsearch"
@@ -27,7 +28,12 @@ func main() {
 		minRate    = flag.Float64("min-rate", 0.05, "smallest rate considered")
 		maxRate    = flag.Float64("max-rate", 20, "largest rate considered")
 	)
+	versionFlag := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println("dnarates", buildinfo.String())
+		return
+	}
 	if *inPath == "" || *treePath == "" {
 		fmt.Fprintln(os.Stderr, "dnarates: -in and -tree are required")
 		flag.Usage()

@@ -6,17 +6,21 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/fileio"
 	"repro/internal/mlsearch"
@@ -60,8 +64,13 @@ func main() {
 		adaptive    = flag.Bool("adaptive", false, "adapt the rearrangement extent to recent success (paper §5)")
 		statusAddr  = flag.String("status-addr", "", "serve /metrics, /status, and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 		benchJSON   = flag.String("bench-json", "", "write a BENCH_<run>.json report into this directory at end of run")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("fastdnaml", buildinfo.String())
+		return
+	}
 	if *inPath == "" {
 		fmt.Fprintln(os.Stderr, "fastdnaml: -in alignment required")
 		flag.Usage()
@@ -156,7 +165,22 @@ func run(inPath string, o options) error {
 	if err != nil {
 		return err
 	}
+	// SIGINT/SIGTERM stop the search at its next round boundary; the
+	// checkpoint paths then flush a current restart file and exit 0.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "fastdnaml: signal received; stopping at the next round boundary (repeat to kill)")
+		signal.Stop(sigc)
+		close(stop)
+	}()
 	opt := core.Options{
+		Stop:                 stop,
 		ModelName:            o.modelName,
 		TTRatio:              o.ttratio,
 		Kappa:                o.kappa,
@@ -212,9 +236,33 @@ func run(inPath string, o options) error {
 
 	inf, err := core.Infer(a, opt)
 	if err != nil {
-		return err
+		return finishInterrupted(err, nil, o)
 	}
 	return report(inf, a, o)
+}
+
+// finishInterrupted turns a signal-stop into a clean exit: flush the
+// restart manifest if one is being recorded, tell the user how to
+// resume, and return nil so the process exits 0. Any other error passes
+// through unchanged.
+func finishInterrupted(err error, rec *mlsearch.ManifestRecorder, o options) error {
+	if !errors.Is(err, mlsearch.ErrStopped) {
+		return err
+	}
+	if rec != nil {
+		if ferr := rec.Flush(); ferr != nil {
+			return fmt.Errorf("interrupted, and the final checkpoint failed: %w", ferr)
+		}
+	}
+	switch {
+	case o.checkpoint != "":
+		fmt.Printf("interrupted; restart file %s is current — resume with -resume %s\n", o.checkpoint, o.checkpoint)
+	case o.resume != "":
+		fmt.Printf("interrupted; resume again with -resume %s\n", o.resume)
+	default:
+		fmt.Println("interrupted (run with -checkpoint to make interrupted searches resumable)")
+	}
+	return nil
 }
 
 // parseGTRRates parses "ac,ag,at,cg,ct,gt" (empty = zero value).
@@ -282,7 +330,7 @@ func runBootstrap(a *seq.Alignment, opt core.Options, o options) error {
 	fmt.Printf("bootstrap: %d replicates\n", o.bootstrap)
 	res, err := core.Bootstrap(a, opt, o.bootstrap)
 	if err != nil {
-		return err
+		return finishInterrupted(err, nil, o)
 	}
 	fmt.Printf("\nbootstrap consensus (%d splits retained):\n%s\n",
 		len(res.Consensus.Support), res.Consensus.Tree.Newick())
@@ -339,12 +387,14 @@ func runCheckpointed(a *seq.Alignment, opt core.Options, o options) error {
 		runOpt.MonitorOut = opt.MonitorOut
 		runOpt.Foreman = mlsearch.ForemanOptions{Pipeline: o.pipeline}
 	}
-	if err := wireRestart(&runOpt, o); err != nil {
+	runOpt.Stop = opt.Stop
+	rec, err := wireRestart(&runOpt, o)
+	if err != nil {
 		return err
 	}
 	out, err := mlsearch.Run(cfg, runOpt)
 	if err != nil {
-		return err
+		return finishInterrupted(err, rec, o)
 	}
 	inf, err := inferenceFromResults(a, cfg.Taxa, out, opt)
 	if err != nil {
@@ -356,17 +406,18 @@ func runCheckpointed(a *seq.Alignment, opt core.Options, o options) error {
 // wireRestart wires -resume and -checkpoint into runOpt, sniffing the
 // restart file's format: a flat checkpoint resumes one jumble, a
 // manifest resumes a multi-jumble run (adopting the manifest's jumble
-// count when -jumbles was left at its default).
-func wireRestart(runOpt *mlsearch.RunOptions, o options) error {
+// count when -jumbles was left at its default). It returns the manifest
+// recorder when one is writing, so an interrupted run can flush it.
+func wireRestart(runOpt *mlsearch.RunOptions, o options) (*mlsearch.ManifestRecorder, error) {
 	var prior *mlsearch.Manifest
 	if o.resume != "" {
 		cp, m, err := mlsearch.LoadResume(o.resume)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if m != nil {
 			if runOpt.Jumbles > 1 && runOpt.Jumbles != m.Jumbles {
-				return fmt.Errorf("-jumbles %d does not match the manifest's %d jumbles", runOpt.Jumbles, m.Jumbles)
+				return nil, fmt.Errorf("-jumbles %d does not match the manifest's %d jumbles", runOpt.Jumbles, m.Jumbles)
 			}
 			runOpt.Jumbles = m.Jumbles
 			runOpt.ResumeManifest = m
@@ -391,11 +442,11 @@ func wireRestart(runOpt *mlsearch.RunOptions, o options) error {
 					fmt.Fprintln(os.Stderr, "fastdnaml: checkpoint:", err)
 				}
 			}
-		} else {
-			runOpt.OnCheckpoint = func(_ int, cp mlsearch.Checkpoint) { writeCheckpointFile(o.checkpoint, cp) }
+			return rec, nil
 		}
+		runOpt.OnCheckpoint = func(_ int, cp mlsearch.Checkpoint) { writeCheckpointFile(o.checkpoint, cp) }
 	}
-	return nil
+	return nil, nil
 }
 
 // runDistributed hosts the elastic TCP master; workers join at any time
@@ -449,12 +500,14 @@ func runDistributed(a *seq.Alignment, opt core.Options, o options) error {
 			}
 		},
 	}
-	if err := wireRestart(&runOpt, o); err != nil {
+	runOpt.Stop = opt.Stop
+	rec, err := wireRestart(&runOpt, o)
+	if err != nil {
 		return err
 	}
 	out, err := mlsearch.Run(cfg, runOpt)
 	if err != nil {
-		return err
+		return finishInterrupted(err, rec, o)
 	}
 	// Repackage as an Inference for uniform reporting.
 	inf, err := inferenceFromResults(a, cfg.Taxa, out, opt)

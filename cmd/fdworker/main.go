@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/likelihood"
 	"repro/internal/mlsearch"
 	"repro/internal/obs"
@@ -31,8 +32,13 @@ func main() {
 		threads    = flag.Int("threads", 1, "likelihood kernel threads (results are bit-identical at any count)")
 		precision  = flag.String("precision", "", "CLV storage precision: float64 or float32 (default: whatever the master's data bundle requests)")
 		engine     = flag.String("engine", "", "likelihood backend: cached or reference (default: whatever the master's data bundle requests)")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("fdworker", buildinfo.String())
+		return
+	}
 	if *connect == "" {
 		fmt.Fprintln(os.Stderr, "fdworker: -connect is required")
 		flag.Usage()

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/experiments"
 )
 
@@ -26,7 +27,12 @@ func main() {
 		sites   = flag.Int("sites", 300, "sites for -exp measured")
 		extent  = flag.Int("extent", 5, "rearrangement extent (paper tests: 5)")
 	)
+	versionFlag := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println("scaling", buildinfo.String())
+		return
+	}
 
 	var procList []int
 	if *procs != "" {

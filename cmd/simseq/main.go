@@ -10,6 +10,7 @@ import (
 	"os"
 	"strconv"
 
+	"repro/internal/buildinfo"
 	"repro/internal/fileio"
 	"repro/internal/seq"
 	"repro/internal/simulate"
@@ -28,7 +29,12 @@ func main() {
 		ratesOut = flag.String("rates-out", "", "write the true per-site rates here")
 		fasta    = flag.Bool("fasta", false, "write FASTA instead of PHYLIP")
 	)
+	versionFlag := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println("simseq", buildinfo.String())
+		return
+	}
 
 	var opt simulate.Options
 	var err error

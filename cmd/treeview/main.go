@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/fileio"
 	"repro/internal/viewer"
 )
@@ -27,7 +28,12 @@ func main() {
 		labels    = flag.Bool("labels", true, "draw leaf labels (svg)")
 		first     = flag.Int("first", 0, "render only the first N trees (0 = all)")
 	)
+	versionFlag := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println("treeview", buildinfo.String())
+		return
+	}
 	if *treesPath == "" {
 		fmt.Fprintln(os.Stderr, "treeview: -trees is required")
 		flag.Usage()

@@ -1,0 +1,23 @@
+// Package buildinfo carries the build identity stamped into every binary
+// at link time. The Makefile (and CI) pass
+//
+//	-ldflags "-X repro/internal/buildinfo.Version=<version>"
+//
+// so fastdnaml, fdworker, and fastdnamld all report the same version
+// string under -version and on the /healthz liveness endpoint. Unstamped
+// builds (plain `go build`) report "dev".
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Version is the build's version string, overridden at link time.
+var Version = "dev"
+
+// String renders the one-line form printed by the binaries' -version
+// flag: version, go toolchain, and target platform.
+func String() string {
+	return fmt.Sprintf("%s (%s %s/%s)", Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -95,6 +95,10 @@ type Options struct {
 	// Obs, when non-nil, attaches run observability (metrics, spans, the
 	// /status snapshot) to parallel runs.
 	Obs *mlsearch.RunObserver
+	// Stop, when non-nil, cancels the run when closed: searches return
+	// mlsearch.ErrStopped (wrapped) at their next round boundary, so a
+	// signal handler can flush restart files and exit cleanly.
+	Stop <-chan struct{}
 }
 
 func (o Options) withDefaults() Options {
@@ -232,6 +236,7 @@ func Infer(a *seq.Alignment, opt Options) (*Inference, error) {
 		MaxConcurrentJumbles: opt.MaxConcurrentJumbles,
 		Progress:             opt.Progress,
 		Obs:                  opt.Obs,
+		Stop:                 opt.Stop,
 		Foreman:              mlsearch.ForemanOptions{Pipeline: opt.Pipeline},
 	})
 	if err != nil {

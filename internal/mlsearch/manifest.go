@@ -249,3 +249,23 @@ func (r *ManifestRecorder) Record(cp Checkpoint) error {
 	r.m.Set(cp)
 	return SaveManifest(r.path, r.m)
 }
+
+// Flush atomically rewrites the file from the current in-memory state.
+// An interrupted run calls it after its searches stop so the on-disk
+// manifest is guaranteed to match the last reported checkpoints.
+func (r *ManifestRecorder) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return SaveManifest(r.path, r.m)
+}
+
+// Manifest returns a snapshot copy of the recorder's current state.
+func (r *ManifestRecorder) Manifest() *Manifest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := NewManifest(r.m.Jumbles)
+	for j, cp := range r.m.Checkpoints {
+		m.Checkpoints[j] = cp
+	}
+	return m
+}

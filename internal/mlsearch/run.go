@@ -81,6 +81,11 @@ type RunOptions struct {
 	WorkerHooks map[int]WorkerHooks
 	// Progress receives per-round events (jumble index, event).
 	Progress func(int, ProgressEvent)
+	// Stop, when non-nil, cancels the run when closed: every search
+	// returns ErrStopped (wrapped) at its next round boundary. The last
+	// checkpoints handed to OnCheckpoint stay valid resume points, which
+	// is what lets a SIGTERM'd run flush its restart file and exit 0.
+	Stop <-chan struct{}
 	// OnCheckpoint receives a resumable position (jumble index,
 	// checkpoint) after every completed taxon addition.
 	OnCheckpoint func(int, Checkpoint)
@@ -179,6 +184,7 @@ func runJumbles(src dispatcherSource, cfg Config, opt RunOptions) ([]*SearchResu
 		if err != nil {
 			return nil, err
 		}
+		s.Stop = opt.Stop
 		// Callbacks report the jumble's own index, not the loop counter
 		// (they differ on resumed runs).
 		idx := configs[j].Jumble

@@ -2,6 +2,7 @@ package mlsearch
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -9,6 +10,13 @@ import (
 	"repro/internal/obs"
 	"repro/internal/tree"
 )
+
+// ErrStopped is returned (wrapped) by a search whose Stop channel closed.
+// The search stops at the next round boundary — the last position handed
+// to OnCheckpoint is exactly resumable — so callers distinguish a clean
+// stop (flush the restart file, exit 0) from a real failure with
+// errors.Is(err, ErrStopped).
+var ErrStopped = errors.New("mlsearch: search stopped")
 
 // Dispatcher evaluates a batch of tasks and returns their results in any
 // order. The serial dispatcher runs them in-process; the parallel
@@ -165,6 +173,12 @@ type Search struct {
 	// restart-file mechanism of long fastDNAml runs).
 	OnCheckpoint func(Checkpoint)
 
+	// Stop, when non-nil, cancels the search when closed: the search
+	// returns ErrStopped (wrapped) at the next round boundary instead of
+	// dispatching more work. Positions already handed to OnCheckpoint
+	// remain valid resume points.
+	Stop <-chan struct{}
+
 	nextTask  uint64
 	nextRound uint64
 	rounds    []RoundStats
@@ -291,6 +305,11 @@ func (s *Search) checkpoint(order []int, nextIdx int, phase string, tr *tree.Tre
 func (s *Search) dispatchRound(kind RoundKind, taxaInTree int, tasks []Task, genBytes uint64) ([]Result, error) {
 	if len(tasks) == 0 {
 		return nil, fmt.Errorf("mlsearch: empty %s round", kind)
+	}
+	select {
+	case <-s.Stop:
+		return nil, fmt.Errorf("mlsearch: %s round: %w", kind, ErrStopped)
+	default:
 	}
 	results, err := s.disp.Dispatch(tasks)
 	if err != nil {

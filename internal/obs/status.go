@@ -7,12 +7,15 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"repro/internal/buildinfo"
 )
 
 // StatusServer exposes a process's observability over HTTP:
 //
 //	/metrics      Prometheus text exposition of the registry
 //	/status       live JSON snapshot from the configured provider
+//	/healthz      liveness: 200 with build info while the process serves
 //	/debug/pprof  the standard Go profiler endpoints
 //
 // It binds its own mux (never the default one) so embedding processes
@@ -30,9 +33,18 @@ type StatusOptions struct {
 	Snapshot func() any
 }
 
+// HealthResponse is the /healthz liveness document: the process is up
+// and serving, stamped with the link-time build version.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
+	Started string `json:"started"`
+}
+
 // StatusServer is a live HTTP observability endpoint.
 type StatusServer struct {
 	ln  net.Listener
+	mux *http.ServeMux
 	srv *http.Server
 }
 
@@ -57,6 +69,15 @@ func NewStatusServer(opt StatusOptions) (*StatusServer, error) {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(v)
 	})
+	started := time.Now()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(HealthResponse{
+			Status:  "ok",
+			Version: buildinfo.Version,
+			Started: started.Format(time.RFC3339Nano),
+		})
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -64,6 +85,7 @@ func NewStatusServer(opt StatusOptions) (*StatusServer, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s := &StatusServer{
 		ln:  ln,
+		mux: mux,
 		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
 	}
 	go func() { _ = s.srv.Serve(ln) }()
@@ -72,6 +94,14 @@ func NewStatusServer(opt StatusOptions) (*StatusServer, error) {
 
 // Addr returns the bound listen address.
 func (s *StatusServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Handle mounts an additional handler on the server's mux, so an
+// embedding process (the fastdnamld daemon) can serve its own API from
+// the same port as the observability endpoints. http.ServeMux guards its
+// routing table, so registering after the server has started is safe.
+func (s *StatusServer) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+}
 
 // Close stops the server. Nil-safe.
 func (s *StatusServer) Close() error {

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/buildinfo"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestStatusServerHealthz(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := NewStatusServer(StatusOptions{Addr: "127.0.0.1:0", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := getBody(t, fmt.Sprintf("http://%s/healthz", srv.Addr()))
+	if code != http.StatusOK {
+		t.Fatalf("healthz status = %d, want 200", code)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz body %q: %v", body, err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("healthz status field = %q, want ok", h.Status)
+	}
+	if h.Version != buildinfo.Version {
+		t.Errorf("healthz version = %q, want %q", h.Version, buildinfo.Version)
+	}
+	if h.Started == "" {
+		t.Error("healthz started timestamp empty")
+	}
+}
+
+func TestStatusServerHandleMountsExtraRoutes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_counter_total", "A counter.").Inc()
+	srv, err := NewStatusServer(StatusOptions{Addr: "127.0.0.1:0", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	srv.Handle("/v1/hello", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "world")
+	}))
+
+	code, body := getBody(t, fmt.Sprintf("http://%s/v1/hello", srv.Addr()))
+	if code != http.StatusOK || body != "world" {
+		t.Fatalf("mounted route = %d %q, want 200 world", code, body)
+	}
+	// The built-in endpoints still serve.
+	code, body = getBody(t, fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if code != http.StatusOK || !strings.Contains(body, "test_counter_total 1") {
+		t.Fatalf("metrics = %d %q, want the registered counter", code, body)
+	}
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Content-addressed result store. A finished job's outcome is written
+// under its ResultKey; a later submission with the same key returns the
+// stored document without dispatching a single task. Keys cover
+// everything that determines the trees and exclude deployment knobs
+// (see preparedSpec), so the store doubles as a cross-restart memo: it
+// survives daemon restarts alongside the job store.
+
+// JumbleOutcome is one random ordering's result inside a JobResult.
+type JumbleOutcome struct {
+	Jumble int     `json:"jumble"`
+	Seed   int64   `json:"seed"`
+	LnL    float64 `json:"lnl"`
+	Newick string  `json:"newick"`
+}
+
+// JobResult is the stored outcome of a completed job.
+type JobResult struct {
+	// Key is the content hash the result is stored under.
+	Key string `json:"key"`
+	// BestJumble indexes the highest-likelihood ordering.
+	BestJumble int `json:"best_jumble"`
+	// BestLnL is its log-likelihood.
+	BestLnL float64 `json:"best_lnl"`
+	// BestNewick is its tree.
+	BestNewick string `json:"best_newick"`
+	// Consensus is the majority rule consensus over the jumble trees
+	// ("" when only one jumble ran).
+	Consensus string `json:"consensus,omitempty"`
+	// Jumbles holds every ordering's result, in jumble order.
+	Jumbles []JumbleOutcome `json:"jumbles"`
+	// TotalTasks and TotalOps sum the dispatched work over the run.
+	TotalTasks int    `json:"total_tasks"`
+	TotalOps   uint64 `json:"total_ops"`
+}
+
+// ResultStore is the on-disk content-addressed store: one JSON document
+// per key under dir.
+type ResultStore struct {
+	dir string
+}
+
+// NewResultStore opens (creating if needed) a store rooted at dir.
+func NewResultStore(dir string) (*ResultStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: result store: %w", err)
+	}
+	return &ResultStore{dir: dir}, nil
+}
+
+// path maps a key to its file, refusing anything that is not a plain
+// lowercase hex digest (keys come from hashJSON, but records on disk
+// are untrusted after a restart).
+func (s *ResultStore) path(key string) (string, error) {
+	if key == "" || strings.Trim(key, "0123456789abcdef") != "" {
+		return "", fmt.Errorf("serve: bad result key %q", key)
+	}
+	return filepath.Join(s.dir, key+".json"), nil
+}
+
+// Get returns the stored result for key, reporting whether one exists.
+func (s *ResultStore) Get(key string) (*JobResult, bool, error) {
+	p, err := s.path(key)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	var r JobResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, false, fmt.Errorf("serve: result %s: %w", key, err)
+	}
+	return &r, true, nil
+}
+
+// Put stores a result atomically (temp file + rename); writing the same
+// key twice is an idempotent overwrite, which is exactly right for a
+// deterministic computation.
+func (s *ResultStore) Put(r *JobResult) error {
+	p, err := s.path(r.Key)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".result-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-job event streams. Every job owns a hub; the runner publishes
+// state transitions, round progress, and checkpoint acknowledgements
+// into it, and GET /v1/jobs/{id}/events replays the bounded history and
+// then follows live until the job reaches a terminal state.
+
+// Event is one line of a job's NDJSON event stream.
+type Event struct {
+	// Type is "state", "progress", or "checkpoint".
+	Type string    `json:"type"`
+	Time time.Time `json:"time"`
+	// State is set on "state" events.
+	State JobState `json:"state,omitempty"`
+	// Error carries the failure reason on terminal "state" events.
+	Error string `json:"error,omitempty"`
+	// The search position, on "progress" and "checkpoint" events.
+	Jumble     int     `json:"jumble,omitempty"`
+	Kind       string  `json:"kind,omitempty"`
+	TaxaInTree int     `json:"taxa_in_tree,omitempty"`
+	BestLnL    float64 `json:"best_lnl,omitempty"`
+}
+
+// eventHistory bounds the replay buffer; a long search's stream is a
+// window, not an archive.
+const eventHistory = 256
+
+// eventHub fans a job's events out to any number of stream followers.
+// Publishing never blocks: a follower that cannot keep up loses events
+// (its channel send is dropped) rather than stalling the search.
+type eventHub struct {
+	mu     sync.Mutex
+	hist   []Event
+	subs   map[int]chan Event
+	nextID int
+	closed bool
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{subs: map[int]chan Event{}}
+}
+
+// publish appends e to the history and offers it to every follower.
+func (h *eventHub) publish(e Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.hist = append(h.hist, e)
+	if len(h.hist) > eventHistory {
+		h.hist = append(h.hist[:0], h.hist[len(h.hist)-eventHistory:]...)
+	}
+	for _, ch := range h.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// subscribe returns a copy of the history plus a live channel. The
+// channel closes when the hub closes (terminal job); cancel detaches
+// early.
+func (h *eventHub) subscribe() ([]Event, <-chan Event, func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hist := make([]Event, len(h.hist))
+	copy(hist, h.hist)
+	ch := make(chan Event, 128)
+	if h.closed {
+		close(ch)
+		return hist, ch, func() {}
+	}
+	id := h.nextID
+	h.nextID++
+	h.subs[id] = ch
+	return hist, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// close ends the stream for every follower; the history stays readable
+// for later subscribers.
+func (h *eventHub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for id, ch := range h.subs {
+		delete(h.subs, id)
+		close(ch)
+	}
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/mlsearch"
+)
+
+// Startup recovery: the janitor walks the job store and decides, per
+// job, whether it is terminal (kept visible), incomplete (re-queued,
+// resuming from its manifest where one exists), or corrupt
+// (quarantined). Quarantine is deliberately job-scoped — one truncated
+// manifest block must never take the daemon or its neighbors down; the
+// damaged job parks in StateQuarantined with the parse error attached
+// while every other job resumes normally.
+
+// recover loads every job found under the data directory.
+func (s *Server) recover() error {
+	ids, err := s.store.List()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		rec, err := s.store.LoadRecord(id)
+		if err != nil {
+			s.quarantine(&JobRecord{ID: id, Tenant: "default", Submitted: time.Now()},
+				fmt.Errorf("job record: %w", err))
+			continue
+		}
+		if rec.State.Terminal() {
+			s.adopt(rec, nil, nil, true)
+			continue
+		}
+
+		// Queued or running when the previous process stopped: rebuild
+		// the prepared spec and resume state, then re-queue.
+		spec, err := s.store.LoadSpec(id)
+		if err != nil {
+			s.quarantine(rec, fmt.Errorf("job spec: %w", err))
+			continue
+		}
+		prep, err := prepareSpec(*spec)
+		if err != nil {
+			s.quarantine(rec, fmt.Errorf("job spec: %w", err))
+			continue
+		}
+		// Re-derive the content keys from the spec rather than trusting
+		// the stored record: the spec is the source of truth.
+		rec.ResultKey = prep.ResultKey
+		rec.PodKey = prep.PodKey
+		rec.Jumbles = prep.Spec.Options.Jumbles
+		var resume *mlsearch.Manifest
+		mPath := s.store.ManifestPath(id)
+		if _, statErr := os.Stat(mPath); statErr == nil {
+			m, err := mlsearch.LoadManifest(mPath)
+			if err != nil {
+				s.quarantine(rec, fmt.Errorf("restart manifest: %w", err))
+				continue
+			}
+			resume = m
+		}
+		rec.State = StateQueued
+		rec.Error = ""
+		rec.Started = time.Time{}
+		s.adopt(rec, prep, resume, false)
+		s.met.resumed.Inc()
+		if resume != nil {
+			done := 0
+			for j := 0; j < resume.Jumbles; j++ {
+				if cp, ok := resume.Checkpoint(j); ok && cp.Phase == mlsearch.PhaseDone {
+					done++
+				}
+			}
+			s.opt.Logf("job %s: resuming (%d of %d jumbles done)", id, done, resume.Jumbles)
+		} else {
+			s.opt.Logf("job %s: recovered, starting fresh", id)
+		}
+	}
+	return nil
+}
+
+// adopt registers a recovered job in memory (and in the scheduler when
+// it still has work to do).
+func (s *Server) adopt(rec *JobRecord, prep *preparedSpec, resume *mlsearch.Manifest, terminal bool) {
+	j := &job{
+		rec:      *rec,
+		prep:     prep,
+		resume:   resume,
+		stop:     make(chan struct{}),
+		hub:      newEventHub(),
+		queuedAt: time.Now(),
+	}
+	j.hub.publish(Event{Type: "state", Time: time.Now(), State: rec.State, Error: rec.Error})
+	if terminal {
+		j.hub.close()
+	}
+	s.mu.Lock()
+	s.jobs[j.rec.ID] = j
+	if !terminal {
+		// force: these jobs were admitted by the previous process; a
+		// restart must never drop them to admission control.
+		_ = s.sched.push(j, true)
+		s.updateQueueGauges()
+	}
+	s.mu.Unlock()
+	if !terminal {
+		_ = s.store.SaveRecord(rec)
+	}
+}
+
+// quarantine parks a job with corrupt on-disk state.
+func (s *Server) quarantine(rec *JobRecord, cause error) {
+	rec.State = StateQuarantined
+	rec.Error = cause.Error()
+	rec.Finished = time.Now()
+	_ = s.store.SaveRecord(rec)
+	s.adopt(rec, nil, nil, true)
+	s.met.quarantined.Inc()
+	s.opt.Logf("job %s: quarantined: %v", rec.ID, cause)
+}

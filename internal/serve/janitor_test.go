@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// seedJobDir fabricates an admitted-but-incomplete job on disk, the
+// state a crashed daemon leaves behind.
+func seedJobDir(t *testing.T, store *JobStore, id string, spec JobSpec) {
+	t.Helper()
+	rec := &JobRecord{
+		ID:        id,
+		Tenant:    spec.Tenant,
+		State:     StateRunning,
+		Submitted: time.Now(),
+	}
+	if err := store.Create(rec, &spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJanitorQuarantinesTruncatedManifest(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewJobStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln := testPhylipText(t, 7, 150, 5)
+	corrupt, healthy := "j-aaaaaaaaaaaa", "j-bbbbbbbbbbbb"
+	seedJobDir(t, store, corrupt, JobSpec{Tenant: "x", Alignment: aln, Options: JobOptions{Seed: 3, Jumbles: 2}})
+	seedJobDir(t, store, healthy, JobSpec{Tenant: "x", Alignment: aln, Options: JobOptions{Seed: 7}})
+
+	// The corrupt job's restart manifest stops mid-block, as if the
+	// process died inside a non-atomic write.
+	truncated := "fastdnaml-manifest v1\njumbles 2\nbegin jumble 0\nseed 3\n"
+	if err := os.WriteFile(store.ManifestPath(corrupt), []byte(truncated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewServer(Options{DataDir: dir, Fleet: FleetOptions{Workers: 1}, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("a truncated manifest must not stop the daemon: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+
+	// The damaged job is parked, error attached, never scheduled.
+	rec, err := s.Get(corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != StateQuarantined {
+		t.Fatalf("corrupt job state %s, want quarantined", rec.State)
+	}
+	if !strings.Contains(rec.Error, "truncated") {
+		t.Errorf("quarantine error %q does not name the cause", rec.Error)
+	}
+	if _, _, err := s.Result(corrupt); err == nil {
+		t.Error("quarantined job served a result")
+	}
+	if s.met.quarantined.Value() != 1 {
+		t.Errorf("quarantined counter = %v", s.met.quarantined.Value())
+	}
+
+	// Its neighbor resumes and completes normally.
+	waitJob(t, s, healthy, StateDone)
+
+	// Quarantine survives a further restart (still visible, still
+	// parked).
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewServer(Options{DataDir: dir, Fleet: FleetOptions{Workers: 1}, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s2.Close() })
+	rec, err = s2.Get(corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != StateQuarantined {
+		t.Errorf("after restart, corrupt job state %s", rec.State)
+	}
+}
+
+func TestJanitorQuarantinesUnreadableSpec(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewJobStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := "j-cccccccccccc"
+	seedJobDir(t, store, id, JobSpec{Alignment: testPhylipText(t, 6, 100, 5)})
+	if err := os.WriteFile(store.Dir(id)+"/spec.json", []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(Options{DataDir: dir, Fleet: FleetOptions{Workers: 1}, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	rec, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != StateQuarantined {
+		t.Errorf("state %s, want quarantined", rec.State)
+	}
+}

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Black-box smoke test of the fastdnamld daemon over real HTTP.
+#
+# Builds the binaries, starts a 2-worker daemon on an OS-assigned port,
+# and drives it with curl the way a client would:
+#
+#   1. /healthz answers 200 with the stamped version.
+#   2. A submitted job completes, and its best tree is byte-identical to
+#      a serial `fastdnaml` run over the same alignment and seed.
+#   3. Submitting the identical spec again is a cache hit: the response
+#      says so, and fdml_dispatch_total proves the fleet never saw it.
+#   4. /metrics exposes the tenant-labeled service counters.
+#   5. SIGTERM shuts the daemon down gracefully (exit 0).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+daemon_pid=
+cleanup() {
+	[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null && wait "$daemon_pid" 2>/dev/null
+	rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "serve-smoke: FAIL: $*" >&2
+	[ -f "$work/daemon.log" ] && sed 's/^/  daemon: /' "$work/daemon.log" >&2
+	exit 1
+}
+
+echo "== build"
+go build -o "$work/bin/" ./cmd/fastdnaml ./cmd/fastdnamld ./cmd/simseq
+
+echo "== serial reference run"
+"$work/bin/simseq" -taxa 8 -sites 200 -seed 11 -out "$work/aln.phy" 2>/dev/null
+"$work/bin/fastdnaml" -in "$work/aln.phy" -seed 5 -quiet -out "$work/ref" >/dev/null
+ref_tree=$(cat "$work/ref.best.tree")
+[ -n "$ref_tree" ] || fail "serial run produced no tree"
+
+echo "== start daemon"
+"$work/bin/fastdnamld" -addr 127.0.0.1:0 -data "$work/data" -workers 2 \
+	>"$work/daemon.log" 2>&1 &
+daemon_pid=$!
+base=
+for _ in $(seq 1 100); do
+	base=$(sed -n 's/^fastdnamld: serving on \(http:\/\/.*\)$/\1/p' "$work/daemon.log")
+	[ -n "$base" ] && break
+	kill -0 "$daemon_pid" 2>/dev/null || fail "daemon died on startup"
+	sleep 0.1
+done
+[ -n "$base" ] || fail "daemon never reported its address"
+echo "   $base"
+
+curl -fsS "$base/healthz" | grep -q '"status": *"ok"' || fail "/healthz not ok"
+
+echo "== submit job"
+# JSON-escape the alignment's newlines into one string field.
+aln_json=$(awk '{printf "%s\\n", $0}' "$work/aln.phy")
+printf '{"tenant":"lab-a","alignment":"%s","options":{"seed":5}}' "$aln_json" \
+	>"$work/job.json"
+resp=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+	--data-binary @"$work/job.json" "$base/v1/jobs")
+job_id=$(printf '%s\n' "$resp" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1)
+[ -n "$job_id" ] || fail "submit returned no job id: $resp"
+echo "   $job_id"
+
+echo "== wait for completion"
+state=
+for _ in $(seq 1 600); do
+	rec=$(curl -fsS "$base/v1/jobs/$job_id")
+	state=$(printf '%s\n' "$rec" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -1)
+	case "$state" in
+	done) break ;;
+	failed | canceled | quarantined) fail "job reached $state: $rec" ;;
+	esac
+	sleep 0.2
+done
+[ "$state" = done ] || fail "job stuck in state '$state'"
+
+got_tree=$(curl -fsS "$base/v1/jobs/$job_id/result?format=newick")
+[ "$got_tree" = "$ref_tree" ] ||
+	fail "service tree differs from serial run:
+  serial:  $ref_tree
+  service: $got_tree"
+echo "   tree matches the serial run"
+
+echo "== duplicate submission is a zero-dispatch cache hit"
+dispatches() {
+	curl -fsS "$base/metrics" | sed -n 's/^fdml_dispatch_total \(.*\)/\1/p'
+}
+before=$(dispatches)
+[ -n "$before" ] || fail "/metrics has no fdml_dispatch_total"
+dup=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+	--data-binary @"$work/job.json" "$base/v1/jobs")
+printf '%s' "$dup" | grep -q '"cache_hit": *true' || fail "duplicate not a cache hit: $dup"
+printf '%s' "$dup" | grep -q '"state": *"done"' || fail "cache hit not done: $dup"
+after=$(dispatches)
+[ "$before" = "$after" ] || fail "duplicate dispatched work: $before -> $after"
+echo "   fdml_dispatch_total unchanged at $after"
+
+echo "== tenant-labeled metrics"
+metrics=$(curl -fsS "$base/metrics")
+for want in \
+	'fdml_serve_submissions_total{tenant="lab-a"} 2' \
+	'fdml_serve_cache_hits_total{tenant="lab-a"} 1' \
+	'fdml_serve_jobs_total{tenant="lab-a",outcome="done"} 2'; do
+	printf '%s\n' "$metrics" | grep -qF "$want" || fail "metrics missing: $want"
+done
+
+echo "== graceful shutdown"
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+	fail "daemon exited non-zero on SIGTERM"
+fi
+daemon_pid=
+
+echo "serve-smoke: PASS"
