@@ -44,6 +44,7 @@ func main() {
 		threads     = flag.Int("threads", 1, "likelihood kernel threads per evaluator (results are bit-identical at any count)")
 		precision   = flag.String("precision", "float64", "CLV storage precision: float64 (exact, default) or float32 (half the memory traffic, documented tolerance)")
 		engine      = flag.String("engine", "", "likelihood backend: cached (default) or reference (direct recomputation, for cross-validation)")
+		smoothMode  = flag.String("smooth-mode", "", "full-tree branch smoothing: sweep (sequential Newton, default) or gradient (simultaneous, linear-time all-branches gradient)")
 		pipeline    = flag.Int("pipeline", 2, "tasks kept in flight per worker in parallel runs (1 = paper's one-task dispatch)")
 		monitor     = flag.Bool("monitor", false, "attach the monitor process (parallel runs)")
 		ratesPath   = flag.String("rates", "", "per-site rate file (dnarates output)")
@@ -78,7 +79,7 @@ func main() {
 	}
 	if err := run(*inPath, options{
 		jumbles: *jumbles, concJumbles: *concJumbles, seed: *seed, extent: *extent, finalExtent: *finalExtent,
-		ttratio: *ttratio, workers: *workers, threads: *threads, precision: *precision, engine: *engine, pipeline: *pipeline, monitor: *monitor,
+		ttratio: *ttratio, workers: *workers, threads: *threads, precision: *precision, engine: *engine, smoothMode: *smoothMode, pipeline: *pipeline, monitor: *monitor,
 		ratesPath: *ratesPath, weightsPath: *weightsPath,
 		outPrefix: *outPrefix, progressOut: *progressOut,
 		listen: *listen, netWorkers: *netWorkers, taskTimeout: *taskTimeout, quiet: *quiet,
@@ -102,7 +103,7 @@ type options struct {
 	monitor, quiet                                    bool
 	ratesPath, weightsPath, outPrefix, progressOut    string
 	listen, modelName, gtrRates                       string
-	precision, engine                                 string
+	precision, engine, smoothMode                     string
 	userTrees                                         string
 	bootstrap                                         int
 	checkpoint, resume                                string
@@ -195,6 +196,7 @@ func run(inPath string, o options) error {
 		Threads:              o.threads,
 		Precision:            o.precision,
 		Engine:               o.engine,
+		SmoothMode:           o.smoothMode,
 		Pipeline:             o.pipeline,
 		WithMonitor:          o.monitor,
 		MonitorOut:           obs.NewLockedWriter(os.Stderr),
@@ -480,6 +482,7 @@ func runDistributed(a *seq.Alignment, opt core.Options, o options) error {
 			Weights:    opt.Weights,
 			Precision:  cfg.Precision,
 			Engine:     cfg.Engine,
+			SmoothMode: cfg.SmoothMode,
 		},
 		Progress: opt.Progress,
 		OnListen: func(addr net.Addr) {

@@ -32,6 +32,7 @@ func main() {
 		threads    = flag.Int("threads", 1, "likelihood kernel threads (results are bit-identical at any count)")
 		precision  = flag.String("precision", "", "CLV storage precision: float64 or float32 (default: whatever the master's data bundle requests)")
 		engine     = flag.String("engine", "", "likelihood backend: cached or reference (default: whatever the master's data bundle requests)")
+		smoothMode = flag.String("smooth-mode", "", "full-tree branch smoothing: sweep or gradient (default: whatever the master's data bundle requests)")
 		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -65,6 +66,14 @@ func main() {
 			os.Exit(2)
 		}
 		hooks.Engine, hooks.EngineSet = name, true
+	}
+	if *smoothMode != "" {
+		m, err := likelihood.ParseSmoothMode(*smoothMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdworker:", err)
+			os.Exit(2)
+		}
+		hooks.SmoothMode, hooks.SmoothModeSet = m, true
 	}
 	if *statusAddr != "" {
 		reg := obs.NewRegistry()

@@ -73,6 +73,11 @@ type Options struct {
 	// recomputation engine used for differential testing). See
 	// likelihood.Engines for the registered set.
 	Engine string
+	// SmoothMode selects the full-tree branch-smoothing algorithm:
+	// "sweep" (or "" — the sequential Newton sweep, the default) or
+	// "gradient" (simultaneous smoothing on the linear-time all-branches
+	// gradient; same optimum, fewer kernel evaluations).
+	SmoothMode string
 	// Pipeline is the number of tasks the foreman keeps in flight per
 	// worker in parallel runs (default 2; 1 restores the paper's
 	// one-task-per-worker dispatch).
@@ -173,6 +178,10 @@ func Prepare(a *seq.Alignment, opt Options) (mlsearch.Config, Options, error) {
 	if err != nil {
 		return mlsearch.Config{}, opt, err
 	}
+	smode, err := likelihood.ParseSmoothMode(opt.SmoothMode)
+	if err != nil {
+		return mlsearch.Config{}, opt, err
+	}
 	cfg := mlsearch.Config{
 		Taxa:            a.Names,
 		Patterns:        pat,
@@ -184,6 +193,7 @@ func Prepare(a *seq.Alignment, opt Options) (mlsearch.Config, Options, error) {
 		Threads:         opt.Threads,
 		Precision:       prec,
 		Engine:          opt.Engine,
+		SmoothMode:      smode,
 	}
 	return cfg, opt, nil
 }

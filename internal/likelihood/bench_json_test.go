@@ -38,6 +38,7 @@ func TestKernelBenchJSON(t *testing.T) {
 		{"down_partial_cached", benchDownPartial, true},
 		{"newton_edge", benchNewton, true},
 		{"full_smooth", benchSmooth, false},
+		{"grad_smooth", benchGradientSmooth, true},
 	}
 	// The calibration workload is a fixed, dependent float64 chain: pure
 	// CPU speed, no memory or threading effects. benchdiff divides the

@@ -95,8 +95,12 @@ func benchNewton(b *testing.B, threads int) {
 	}
 }
 
-// BenchmarkFullSmooth measures a full smoothing pass over every branch —
-// the dominant cost of round-best re-optimization in the search.
+// BenchmarkFullSmooth measures full branch smoothing to convergence —
+// the dominant cost of round-best re-optimization in the search. Each
+// iteration restarts from the same deterministic perturbation of the
+// converged optimum (alternate edges scaled ×1.6 / ×0.6), so every op
+// performs identical work, and passes-to-convergence is reported as a
+// metric alongside wall time.
 func BenchmarkFullSmooth(b *testing.B) {
 	for _, threads := range benchThreadCounts {
 		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
@@ -105,14 +109,72 @@ func BenchmarkFullSmooth(b *testing.B) {
 	}
 }
 
-func benchSmooth(b *testing.B, threads int) {
-	eng, tr := benchEngine(b, threads)
+// BenchmarkGradientSmooth is BenchmarkFullSmooth in SmoothGradient mode:
+// same fixture, same perturbed start, same convergence gate, so the
+// ns/op ratio between the two is the gradient smoother's speedup to the
+// same optimum.
+func BenchmarkGradientSmooth(b *testing.B) {
+	for _, threads := range benchThreadCounts {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			benchGradientSmooth(b, threads)
+		})
+	}
+}
+
+func benchSmooth(b *testing.B, threads int)         { benchSmoothConverge(b, threads, SmoothSweep) }
+func benchGradientSmooth(b *testing.B, threads int) { benchSmoothConverge(b, threads, SmoothGradient) }
+
+func benchSmoothConverge(b *testing.B, threads int, mode SmoothMode) {
+	// The caterpillar fixture is well-specified for its data (chain-
+	// correlated rows), so the optimum has interior branch lengths and
+	// both smoothing modes converge to it cleanly.
+	m, p, tr := caterpillarFixture(b, 17, 24, 3000)
+	eng, err := New(m, p)
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer eng.Close()
+	if threads > 1 {
+		eng.SetThreads(threads)
+	}
+	opt := OptOptions{Passes: 16, Mode: mode}
+	// Converge once, snapshot the optimum, and restart every iteration
+	// from the same deterministic perturbation of it.
+	if _, err := eng.OptimizeBranches(tr, opt); err != nil {
+		b.Fatal(err)
+	}
+	edges := tr.Edges()
+	lens := make([]float64, len(edges))
+	for i, ed := range edges {
+		lens[i] = ed.Length()
+	}
+	perturb := func() {
+		for i, ed := range edges {
+			f := 1.6
+			if i%2 == 1 {
+				f = 0.6
+			}
+			tree.SetLen(ed.A, ed.B, lens[i]*f)
+		}
+	}
+	// One perturbed solve to warm the arena and smoothing scratch.
+	perturb()
+	if _, err := eng.OptimizeBranches(tr, opt); err != nil {
+		b.Fatal(err)
+	}
+	eng.ResetStats()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.OptimizeBranches(tr, OptOptions{Passes: 1}); err != nil {
+		perturb()
+		if _, err := eng.OptimizeBranches(tr, opt); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.StopTimer()
+	st := eng.Stats()
+	b.ReportMetric(float64(st.SmoothPasses+st.GradPasses)/float64(b.N), "passes/op")
+	if st.GradFallbacks > 0 {
+		b.ReportMetric(float64(st.GradFallbacks)/float64(b.N), "fallbacks/op")
 	}
 }

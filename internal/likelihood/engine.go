@@ -174,6 +174,13 @@ type CachedEngine struct {
 	// sized once.
 	siteBuf       []float64
 	insJ, insRest clvRef
+
+	// Gradient-smoothing scratch (gradient.go): the per-edge gradient
+	// buffer reused across rounds and the pre-update length snapshot the
+	// round safeguard reverts with. Both stabilize at the tree's edge
+	// count, keeping gradient rounds allocation-free.
+	gradBuf []BranchGrad
+	gradOld []float64
 }
 
 // beginEval starts the stats clock for a public evaluation entry point;

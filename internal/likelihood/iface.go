@@ -111,6 +111,22 @@ type OpsReporter interface {
 	ResetOps() uint64
 }
 
+// GradientSmoother is the linear-time all-branches gradient capability
+// (Ji et al., "Gradients do grow on trees"): one post-order pass over
+// down-partials, one pre-order pass over up-partials, and a per-edge
+// reduction yield the derivative of the total log-likelihood with
+// respect to every branch length in O(branches) kernel work. Engines
+// with this capability honor OptOptions.Mode == SmoothGradient in
+// OptimizeBranches; engines without it sweep sequentially regardless.
+type GradientSmoother interface {
+	// BranchGradients appends one entry per branch of t to dst — the
+	// edge, its current length, and ∂lnL/∂z with the diagonal Hessian
+	// term ∂²lnL/∂z², evaluated at the current lengths — and returns
+	// the extended slice plus the tree's log-likelihood. The tree is
+	// not modified.
+	BranchGradients(t *tree.Tree, dst []BranchGrad) ([]BranchGrad, float64, error)
+}
+
 // Invalidator is the explicit cache-invalidation capability, for
 // callers that mutate branch lengths behind the tree package's back.
 type Invalidator interface {
@@ -170,6 +186,17 @@ func StatsOf(e Engine) EngineStats {
 	return EngineStats{}
 }
 
+// BranchGradientsOf computes the all-branches gradient when the engine
+// has the GradientSmoother capability, reporting ok=false (with dst and
+// the tree untouched) when it does not.
+func BranchGradientsOf(e Engine, t *tree.Tree, dst []BranchGrad) (grads []BranchGrad, lnL float64, ok bool, err error) {
+	if g, isGS := e.(GradientSmoother); isGS {
+		grads, lnL, err = g.BranchGradients(t, dst)
+		return grads, lnL, true, err
+	}
+	return dst, 0, false, nil
+}
+
 // OpsOf returns the engine's work counter (zero when the engine does not
 // keep one).
 func OpsOf(e Engine) uint64 {
@@ -188,6 +215,7 @@ var (
 	_ StatsReporter     = (*CachedEngine)(nil)
 	_ OpsReporter       = (*CachedEngine)(nil)
 	_ Invalidator       = (*CachedEngine)(nil)
+	_ GradientSmoother  = (*CachedEngine)(nil)
 
 	_ Engine            = (*ReferenceEngine)(nil)
 	_ PrecisionReporter = (*ReferenceEngine)(nil)

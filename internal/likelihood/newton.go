@@ -42,6 +42,13 @@ type OptOptions struct {
 	// Radius is the vertex distance bound used with Around/Centers; 1
 	// selects only the incident branches. Default 1.
 	Radius int
+	// Mode selects the smoothing algorithm: SmoothSweep (default) is
+	// the sequential per-edge Newton sweep; SmoothGradient runs
+	// simultaneous smoothing on the linear-time all-branches gradient
+	// with a safeguarded fallback to the sweep (gradient.go). Engines
+	// without the GradientSmoother capability, and restricted
+	// (Around/Centers) optimizations, always sweep.
+	Mode SmoothMode
 }
 
 func (o OptOptions) withDefaults() OptOptions {
@@ -81,18 +88,22 @@ func (e *CachedEngine) OptimizeBranches(t *tree.Tree, opt OptOptions) (float64, 
 		}
 	}
 
-	anchor := t.AnyNode()
-	if anchor.Leaf() {
-		// Fall back to its neighbor when the tree is a single cherry.
-		if anchor.Degree() > 0 && !anchor.Nbr[0].Leaf() {
-			anchor = anchor.Nbr[0]
-		}
+	anchor := smoothAnchor(t)
+	if opt.Mode == SmoothGradient && allowed == nil {
+		return e.optimizeBranchesGradient(t, opt, anchor)
 	}
+	return e.optimizeBranchesSweep(t, opt, anchor, allowed)
+}
 
+// optimizeBranchesSweep is the sequential smoothing loop: full
+// depth-first Newton sweeps until a pass improves the log-likelihood by
+// less than Tol or the pass budget runs out.
+func (e *CachedEngine) optimizeBranchesSweep(t *tree.Tree, opt OptOptions, anchor *tree.Node, allowed map[[2]int]bool) (float64, error) {
 	prev := math.Inf(-1)
 	last := prev
 	for pass := 0; pass < opt.Passes; pass++ {
 		e.smoothPass(anchor, allowed)
+		e.stats.SmoothPasses++
 		lnL, err := e.LogLikelihood(t)
 		if err != nil {
 			return 0, err

@@ -82,6 +82,7 @@ const (
 	kCombine2
 	kEdgeLnL
 	kDeriv
+	kDerivGrad
 	kSiteLnL
 )
 
@@ -299,6 +300,19 @@ func (e *CachedEngine) shardKernel(s int) {
 			}
 		}
 		e.shD1[s], e.shD2[s], e.shLnL[s] = acc.d1, acc.d2, acc.lnL
+	case kDerivGrad:
+		var acc gradAcc
+		for _, seg := range segs {
+			n := seg.hi - seg.lo
+			if e.prec == Float32 {
+				acc = segDerivGrad(k.a.f32, k.b.f32, e.weights,
+					&e.pmat[seg.ci], &e.dmat[seg.ci], &e.ddmat[seg.ci], freqs, e.npad, seg.plo, n, acc)
+			} else {
+				acc = segDerivGrad(k.a.f64, k.b.f64, e.weights,
+					&e.pmat[seg.ci], &e.dmat[seg.ci], &e.ddmat[seg.ci], freqs, e.npad, seg.plo, n, acc)
+			}
+		}
+		e.shD1[s], e.shD2[s] = acc.d1, acc.d2
 	case kSiteLnL:
 		for _, seg := range segs {
 			n := seg.hi - seg.lo

@@ -37,11 +37,17 @@ type DataBundle struct {
 	// likelihood.Engines; empty = likelihood.DefaultEngine). A worker
 	// started with an explicit -engine flag overrides it locally.
 	Engine string
+	// SmoothMode is the full-smoothing algorithm workers should apply
+	// (zero value = the sequential sweep; see Config.SmoothMode). A
+	// worker started with an explicit -smooth-mode flag overrides it
+	// locally.
+	SmoothMode likelihood.SmoothMode
 }
 
 // Extension tags of the DataBundle envelope.
 const (
 	extBundleEngine byte = 1 + iota
+	extBundleSmoothMode
 )
 
 const (
@@ -66,6 +72,9 @@ func MarshalDataBundle(b DataBundle) []byte {
 	w.i32(int32(b.Precision))
 	if b.Engine != "" {
 		w.ext(extBundleEngine, []byte(b.Engine))
+	}
+	if b.SmoothMode != likelihood.SmoothSweep {
+		w.ext(extBundleSmoothMode, []byte(b.SmoothMode.String()))
 	}
 	return w.buf
 }
@@ -93,6 +102,10 @@ func UnmarshalDataBundle(data []byte) (DataBundle, error) {
 		switch tag {
 		case extBundleEngine:
 			b.Engine = string(payload)
+		case extBundleSmoothMode:
+			if m, err := likelihood.ParseSmoothMode(string(payload)); err == nil {
+				b.SmoothMode = m
+			}
 		}
 	}); err != nil {
 		return DataBundle{}, err

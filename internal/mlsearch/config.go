@@ -78,6 +78,14 @@ type Config struct {
 	// backend; "reference" selects the direct-recomputation engine used
 	// for differential testing. Normalize rejects unknown names.
 	Engine string
+
+	// SmoothMode selects the full-tree branch-smoothing algorithm (the
+	// zero value is the sequential Newton sweep; likelihood.SmoothGradient
+	// enables simultaneous smoothing on the linear-time all-branches
+	// gradient). It applies to unrestricted smoothing only — insertion
+	// scoring and the junction-local optimizations always sweep — and is
+	// ignored by engines without the GradientSmoother capability.
+	SmoothMode likelihood.SmoothMode
 }
 
 // Normalize validates the configuration and fills defaults, returning the

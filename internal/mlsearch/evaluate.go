@@ -34,6 +34,10 @@ type Evaluator struct {
 
 	scorer      likelihood.InsertScorer
 	scorerTaxon int32
+
+	// smoothMode is the OptOptions.Mode applied to full (unrestricted)
+	// smoothing tasks; see Config.SmoothMode.
+	smoothMode likelihood.SmoothMode
 }
 
 type edgeLenSnap struct {
@@ -48,6 +52,13 @@ type edgeLenSnap struct {
 func NewEvaluator(eng likelihood.Engine, taxa []string) *Evaluator {
 	return &Evaluator{eng: eng, taxa: taxa, scorerTaxon: -1}
 }
+
+// SetSmoothMode selects the branch-smoothing algorithm for full
+// (unrestricted) smoothing tasks. Restricted optimizations — insertion
+// scoring, junction-local rearrangement smoothing, Around-limited
+// passes — always use the sequential sweep, as do engines without the
+// GradientSmoother capability.
+func (ev *Evaluator) SetSmoothMode(m likelihood.SmoothMode) { ev.smoothMode = m }
 
 // Evaluate runs one task and returns the result. The Ops field reports
 // the work units consumed by exactly this evaluation; CacheHits and
@@ -98,7 +109,7 @@ func (ev *Evaluator) evalFull(t Task) (string, float64, error) {
 	if err != nil {
 		return "", 0, fmt.Errorf("mlsearch: task %d: %w", t.ID, err)
 	}
-	opt := likelihood.OptOptions{Passes: int(t.Passes)}
+	opt := likelihood.OptOptions{Passes: int(t.Passes), Mode: ev.smoothMode}
 	if t.LocalTaxon >= 0 {
 		leaf := tr.LeafByTaxon(int(t.LocalTaxon))
 		if leaf == nil {

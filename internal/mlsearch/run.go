@@ -324,6 +324,7 @@ func runLocalTransport(cfg Config, opt RunOptions) (*RunOutcome, error) {
 				hooks.Threads = norm.Threads
 			}
 			hooks.Precision = norm.Precision
+			hooks.SmoothMode = norm.SmoothMode
 			if err := RunWorker(world[rank], lay, norm.Model, norm.Patterns, norm.Taxa, hooks); err != nil {
 				errs <- fmt.Errorf("worker %d: %w", rank, err)
 			}
@@ -368,5 +369,7 @@ func newInlineEvaluator(norm Config) (*Evaluator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewEvaluator(eng, norm.Taxa), nil
+	ev := NewEvaluator(eng, norm.Taxa)
+	ev.SetSmoothMode(norm.SmoothMode)
+	return ev, nil
 }

@@ -25,7 +25,9 @@ func NewSerialDispatcher(cfg Config) (*SerialDispatcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SerialDispatcher{ev: NewEvaluator(eng, norm.Taxa)}, nil
+	ev := NewEvaluator(eng, norm.Taxa)
+	ev.SetSmoothMode(norm.SmoothMode)
+	return &SerialDispatcher{ev: ev}, nil
 }
 
 // Dispatch implements Dispatcher.

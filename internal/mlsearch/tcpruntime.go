@@ -299,6 +299,10 @@ func serveConnection(c comm.Communicator, welcome []byte, hooks WorkerHooks) err
 		// unless started with an explicit -engine override.
 		hooks.Engine = bundle.Engine
 	}
+	if !hooks.SmoothModeSet {
+		// And the smoothing algorithm, overridable via -smooth-mode.
+		hooks.SmoothMode = bundle.SmoothMode
+	}
 	if hooks.OnAttach != nil {
 		hooks.OnAttach(c)
 	}

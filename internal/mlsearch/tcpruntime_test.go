@@ -139,6 +139,7 @@ func TestDataBundleCodec(t *testing.T) {
 		Weights:    []float64{1, 1, 0, 2},
 		Precision:  likelihood.Float32,
 		Engine:     "reference",
+		SmoothMode: likelihood.SmoothGradient,
 	}
 	out, err := UnmarshalDataBundle(MarshalDataBundle(in))
 	if err != nil {
@@ -156,19 +157,26 @@ func TestDataBundleCodec(t *testing.T) {
 	if out.Engine != "reference" {
 		t.Errorf("engine lost: %q", out.Engine)
 	}
+	if out.SmoothMode != likelihood.SmoothGradient {
+		t.Errorf("smooth mode lost: %v", out.SmoothMode)
+	}
 	if _, err := UnmarshalDataBundle([]byte{0x00}); err == nil {
 		t.Error("bad kind byte accepted")
 	}
-	// Engine rides in an extension field: a bundle without it (an older
-	// master) must decode cleanly with Engine empty — the worker then
-	// falls back to the default backend.
+	// Engine and smooth mode ride in extension fields: a bundle without
+	// them (an older master) must decode cleanly with the defaults — the
+	// worker then falls back to the default backend and the sweep.
 	in.Engine = ""
+	in.SmoothMode = likelihood.SmoothSweep
 	out, err = UnmarshalDataBundle(MarshalDataBundle(in))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.Engine != "" {
 		t.Errorf("engine invented: %q", out.Engine)
+	}
+	if out.SmoothMode != likelihood.SmoothSweep {
+		t.Errorf("smooth mode invented: %v", out.SmoothMode)
 	}
 }
 

@@ -50,6 +50,13 @@ type WorkerHooks struct {
 	// EngineSet marks Engine as an explicit per-worker override, so a
 	// worker can be forced to a backend different from the bundle's.
 	EngineSet bool
+	// SmoothMode selects the full-smoothing algorithm for this worker's
+	// evaluator (see Config.SmoothMode). TCP workers default to the mode
+	// the master's data bundle requests unless the hook was set
+	// explicitly (see SmoothModeSet).
+	SmoothMode likelihood.SmoothMode
+	// SmoothModeSet marks SmoothMode as an explicit per-worker override.
+	SmoothModeSet bool
 }
 
 // RunWorker executes the worker loop: receive a task from the foreman,
@@ -64,6 +71,7 @@ func RunWorker(c comm.Communicator, lay Layout, m model.Model, pat *seq.Patterns
 	}
 	defer likelihood.CloseEngine(eng)
 	ev := NewEvaluator(eng, taxa)
+	ev.SetSmoothMode(hooks.SmoothMode)
 	hooks.Obs.Attached(c.Rank())
 	for {
 		msg, err := c.Recv(comm.AnySource, comm.AnyTag)

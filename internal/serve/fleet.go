@@ -192,7 +192,7 @@ func (f *Fleet) newPod(key string, cfg mlsearch.Config) (*pod, error) {
 		defer p.wg.Done()
 		err := mlsearch.RunForeman(world[lay.Foreman], lay, mlsearch.ForemanOptions{
 			TaskTimeout: f.opt.TaskTimeout,
-			Inline:      mlsearch.NewEvaluator(eng, norm.Taxa),
+			Inline:      newPodEvaluator(eng, norm),
 			Pipeline:    f.opt.Pipeline,
 			Obs:         p.obs,
 		})
@@ -208,11 +208,13 @@ func (f *Fleet) newPod(key string, cfg mlsearch.Config) (*pod, error) {
 			// engine choice explicitly so every worker matches the
 			// dataset key it serves.
 			hooks := mlsearch.WorkerHooks{
-				Threads:      norm.Threads,
-				Precision:    norm.Precision,
-				PrecisionSet: true,
-				Engine:       norm.Engine,
-				EngineSet:    true,
+				Threads:       norm.Threads,
+				Precision:     norm.Precision,
+				PrecisionSet:  true,
+				Engine:        norm.Engine,
+				EngineSet:     true,
+				SmoothMode:    norm.SmoothMode,
+				SmoothModeSet: true,
 			}
 			err := mlsearch.RunWorker(world[rank], lay, norm.Model, norm.Patterns, norm.Taxa, hooks)
 			if err != nil {
@@ -228,6 +230,14 @@ func (f *Fleet) newPod(key string, cfg mlsearch.Config) (*pod, error) {
 	}
 	p.mux = mux
 	return p, nil
+}
+
+// newPodEvaluator builds the foreman's inline fallback evaluator with
+// the pod's smoothing mode, matching what the pod workers apply.
+func newPodEvaluator(eng likelihood.Engine, norm mlsearch.Config) *mlsearch.Evaluator {
+	ev := mlsearch.NewEvaluator(eng, norm.Taxa)
+	ev.SetSmoothMode(norm.SmoothMode)
+	return ev
 }
 
 // Release returns a pod reference; an unreferenced pod starts its idle

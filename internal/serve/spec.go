@@ -57,6 +57,9 @@ type JobOptions struct {
 	Precision string `json:"precision,omitempty"`
 	// Engine names the likelihood backend (default cached).
 	Engine string `json:"engine,omitempty"`
+	// SmoothMode selects the full-tree branch-smoothing algorithm:
+	// sweep (default) or gradient.
+	SmoothMode string `json:"smooth_mode,omitempty"`
 }
 
 // JobSpec is the POST /v1/jobs request body.
@@ -171,6 +174,11 @@ func normalizeOptions(o JobOptions) (JobOptions, error) {
 		return o, err
 	}
 	o.Engine = eng
+	smode, err := likelihood.ParseSmoothMode(o.SmoothMode)
+	if err != nil {
+		return o, err
+	}
+	o.SmoothMode = smode.String()
 	return o, nil
 }
 
@@ -229,6 +237,7 @@ func prepareSpec(sp JobSpec) (*preparedSpec, error) {
 		AdaptiveExtent:  opts.Adaptive,
 		Precision:       opts.Precision,
 		Engine:          opts.Engine,
+		SmoothMode:      opts.SmoothMode,
 	})
 	if err != nil {
 		return nil, err
@@ -244,13 +253,14 @@ func prepareSpec(sp JobSpec) (*preparedSpec, error) {
 	sp.Alignment = canon.String()
 
 	type podDoc struct {
-		Alignment string
-		Model     string
-		TTRatio   float64
-		Kappa     float64
-		GTRRates  []float64
-		Precision string
-		Engine    string
+		Alignment  string
+		Model      string
+		TTRatio    float64
+		Kappa      float64
+		GTRRates   []float64
+		Precision  string
+		Engine     string
+		SmoothMode string
 	}
 	type resultDoc struct {
 		Pod         podDoc
@@ -261,13 +271,14 @@ func prepareSpec(sp JobSpec) (*preparedSpec, error) {
 		Adaptive    bool
 	}
 	pod := podDoc{
-		Alignment: sp.Alignment,
-		Model:     opts.Model,
-		TTRatio:   opts.TTRatio,
-		Kappa:     opts.Kappa,
-		GTRRates:  opts.GTRRates,
-		Precision: opts.Precision,
-		Engine:    opts.Engine,
+		Alignment:  sp.Alignment,
+		Model:      opts.Model,
+		TTRatio:    opts.TTRatio,
+		Kappa:      opts.Kappa,
+		GTRRates:   opts.GTRRates,
+		Precision:  opts.Precision,
+		Engine:     opts.Engine,
+		SmoothMode: opts.SmoothMode,
 	}
 	return &preparedSpec{
 		Spec:   sp,

@@ -68,7 +68,7 @@ type SPRUndo struct {
 	Mid *Node
 	// Joined is the edge that replaced the dissolved attachment; its
 	// endpoints remain valid after Undo.
-	Joined Edge
+	Joined    Edge
 	s         *Node
 	ta, tb    *Node
 	targetLen float64
