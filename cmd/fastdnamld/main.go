@@ -38,6 +38,14 @@ func main() {
 		maxActive       = flag.Int("max-active", 2, "jobs running concurrently")
 		maxQueued       = flag.Int("max-queued", 64, "global queue depth before submissions get 429")
 		maxQueuedTenant = flag.Int("max-queued-per-tenant", 16, "one tenant's queue depth before its submissions get 429")
+		authMode        = flag.String("auth", "keys", "authentication mode: keys (require -api-keys) or off (dev mode, tenants self-declared)")
+		apiKeys         = flag.String("api-keys", "", "per-tenant API key file (`<key> <tenant>` lines); SIGHUP reloads it")
+		rate            = flag.Float64("rate", 0, "per-tenant submission rate limit in requests/second (0 = unlimited)")
+		burst           = flag.Int("burst", 1, "token-bucket burst for -rate")
+		jobTTL          = flag.Duration("job-ttl", 0, "evict terminal jobs (memory and disk) after this (0 = keep forever)")
+		resultTTL       = flag.Duration("result-ttl", 0, "delete cached results unused for this long (0 = keep forever)")
+		maxResultBytes  = flag.Int64("max-results-bytes", 0, "LRU-trim the result store past this many bytes (0 = unbounded)")
+		gcInterval      = flag.Duration("gc-interval", 30*time.Second, "pod-reap and retention-GC tick")
 		version         = flag.Bool("version", false, "print version and exit")
 	)
 	weights := map[string]float64{}
@@ -60,6 +68,29 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "fastdnamld: ", log.LstdFlags)
+
+	// Auth is on unless explicitly disabled: an open daemon is a dev
+	// convenience, not a deployment default.
+	var auth *serve.KeyAuth
+	switch *authMode {
+	case "off":
+		if *apiKeys != "" {
+			logger.Fatal("-api-keys given with -auth=off; pick one")
+		}
+		logger.Printf("WARNING: -auth=off: tenants are self-declared and every job is visible to every client")
+	case "keys":
+		if *apiKeys == "" {
+			logger.Fatal("-auth=keys (the default) needs -api-keys <file>; use -auth=off for an open dev daemon")
+		}
+		var err error
+		auth, err = serve.NewKeyAuth(*apiKeys)
+		if err != nil {
+			logger.Fatal(err)
+		}
+	default:
+		logger.Fatalf("unknown -auth mode %q (keys, off)", *authMode)
+	}
+
 	reg := obs.NewRegistry()
 	srv, err := serve.NewServer(serve.Options{
 		DataDir: *dataDir,
@@ -75,6 +106,13 @@ func main() {
 		MaxQueued:          *maxQueued,
 		MaxQueuedPerTenant: *maxQueuedTenant,
 		TenantWeights:      weights,
+		Auth:               auth,
+		Rate:               *rate,
+		Burst:              *burst,
+		JobTTL:             *jobTTL,
+		ResultTTL:          *resultTTL,
+		MaxResultsBytes:    *maxResultBytes,
+		GCInterval:         *gcInterval,
 		Registry:           reg,
 		Bus:                obs.NewBus(),
 		Logf:               logger.Printf,
@@ -96,6 +134,22 @@ func main() {
 	fmt.Printf("fastdnamld: serving on http://%s\n", status.Addr())
 	fmt.Printf("  API: POST /v1/jobs, GET /v1/jobs/{id}[/events|/result], DELETE /v1/jobs/{id}\n")
 	fmt.Printf("  obs: /metrics /status /healthz /debug/pprof  (version %s)\n", buildinfo.Version)
+
+	// SIGHUP hot-reloads the API key file: key rotation without a
+	// restart. A broken file keeps the previous keys in effect.
+	if auth != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if n, err := auth.Reload(); err != nil {
+					logger.Printf("SIGHUP: api keys NOT reloaded: %v", err)
+				} else {
+					logger.Printf("SIGHUP: reloaded %d api key(s) from %s", n, *apiKeys)
+				}
+			}
+		}()
+	}
 
 	// Graceful shutdown: stop admitting, halt running searches at their
 	// next round boundary (manifests flush, jobs persist as queued),

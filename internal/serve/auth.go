@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Authentication and request-rate limiting. The daemon's /v1 surface is
+// multi-tenant: quotas, fair scheduling, and metrics all key on the
+// tenant, so the tenant identity must come from a credential, not from
+// a self-declared field in the request body. A KeyAuth resolves
+// `Authorization: Bearer <key>` against a key file (hot-reloadable on
+// SIGHUP), and the auth middleware stamps the resolved tenant into the
+// request context; every handler downstream trusts only that identity.
+// Rate limiting is a separate admission layer from the queue caps: the
+// scheduler's quotas bound how much work a tenant may have outstanding,
+// the token bucket bounds how often it may knock on the door at all.
+
+// KeyAuth maps API keys to tenants, loaded from a file of
+// `<key> <tenant>` lines (whitespace separated, #-comments and blank
+// lines ignored). One tenant may own several keys; one key maps to
+// exactly one tenant. Reload swaps the whole map atomically, so a
+// SIGHUP mid-traffic is safe: every request sees either the old or the
+// new key set, never a mixture.
+type KeyAuth struct {
+	path string
+	keys atomic.Value // map[string]string: sha256(key) -> tenant
+}
+
+// NewKeyAuth loads the key file at path. The returned KeyAuth keeps the
+// path for later Reload calls.
+func NewKeyAuth(path string) (*KeyAuth, error) {
+	a := &KeyAuth{path: path}
+	if _, err := a.Reload(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Reload re-reads the key file, returning how many keys it now holds.
+// On error the previous key set stays in effect.
+func (a *KeyAuth) Reload() (int, error) {
+	f, err := os.Open(a.path)
+	if err != nil {
+		return 0, fmt.Errorf("serve: api keys: %w", err)
+	}
+	defer f.Close()
+	m, err := parseKeyFile(f)
+	if err != nil {
+		return 0, fmt.Errorf("serve: api keys %s: %w", a.path, err)
+	}
+	a.keys.Store(m)
+	return len(m), nil
+}
+
+// parseKeyFile reads `<key> <tenant>` lines into the hashed-key map.
+func parseKeyFile(r io.Reader) (map[string]string, error) {
+	m := map[string]string{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want `<key> <tenant>`, got %d fields", line, len(fields))
+		}
+		key, tenant := fields[0], fields[1]
+		if len(key) < 8 {
+			return nil, fmt.Errorf("line %d: key shorter than 8 characters", line)
+		}
+		h := hashKey(key)
+		if prev, dup := m[h]; dup {
+			return nil, fmt.Errorf("line %d: key already mapped to tenant %q", line, prev)
+		}
+		m[h] = tenant
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("no keys")
+	}
+	return m, nil
+}
+
+// hashKey digests a key for map lookup, so neither the stored map nor
+// the lookup path handles raw key bytes in a length-dependent way.
+func hashKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// Lookup resolves a presented key to its tenant.
+func (a *KeyAuth) Lookup(key string) (tenant string, ok bool) {
+	m, _ := a.keys.Load().(map[string]string)
+	tenant, ok = m[hashKey(key)]
+	return tenant, ok
+}
+
+// tenantKey carries the authenticated tenant through request contexts.
+type tenantKey struct{}
+
+// authTenant returns the tenant the auth middleware resolved, and
+// whether the request was authenticated at all (false = auth is off).
+func authTenant(ctx context.Context) (string, bool) {
+	t, ok := ctx.Value(tenantKey{}).(string)
+	return t, ok
+}
+
+// withAuth wraps the API mux: every request must carry
+// `Authorization: Bearer <key>` matching the key file, and the resolved
+// tenant identity rides the context into the handlers.
+func (s *Server) withAuth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		raw := r.Header.Get("Authorization")
+		key, ok := strings.CutPrefix(raw, "Bearer ")
+		if raw == "" || !ok || key == "" {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="fastdnamld"`)
+			writeError(w, http.StatusUnauthorized, fmt.Errorf("serve: missing Authorization: Bearer key"))
+			s.met.authFailures.With("missing").Inc()
+			return
+		}
+		tenant, ok := s.opt.Auth.Lookup(key)
+		if !ok {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="fastdnamld"`)
+			writeError(w, http.StatusUnauthorized, fmt.Errorf("serve: unknown API key"))
+			s.met.authFailures.With("unknown_key").Inc()
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantKey{}, tenant)))
+	})
+}
+
+// --- request-rate limiting ---
+
+// rateLimiter is a per-tenant token bucket: each tenant accrues Rate
+// tokens per second up to Burst, and every submission spends one. It
+// bounds how fast a tenant may hit the API, independently of how much
+// work the scheduler lets it queue — a tight retry loop is rejected in
+// O(ns) here without ever touching the scheduler lock or the job store.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), buckets: map[string]*bucket{}}
+}
+
+// allow spends one token from tenant's bucket. When the bucket is dry
+// it reports how long until the next token accrues — the computed
+// Retry-After the 429 carries.
+func (l *rateLimiter) allow(tenant string, now time.Time) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// retryAfterSeconds rounds a backoff up to the whole seconds the HTTP
+// Retry-After header wants, never below 1.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

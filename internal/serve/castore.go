@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 )
 
 // Content-addressed result store. A finished job's outcome is written
@@ -68,6 +69,9 @@ func (s *ResultStore) path(key string) (string, error) {
 }
 
 // Get returns the stored result for key, reporting whether one exists.
+// A hit refreshes the file's mtime: the GC's LRU trim and result TTL
+// both read mtime as "last used", so hot cache entries survive trims
+// that evict cold ones.
 func (s *ResultStore) Get(key string) (*JobResult, bool, error) {
 	p, err := s.path(key)
 	if err != nil {
@@ -84,7 +88,52 @@ func (s *ResultStore) Get(key string) (*JobResult, bool, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, false, fmt.Errorf("serve: result %s: %w", key, err)
 	}
+	now := time.Now()
+	_ = os.Chtimes(p, now, now)
 	return &r, true, nil
+}
+
+// ResultEntry describes one stored result for the garbage collector.
+type ResultEntry struct {
+	Key     string
+	Size    int64
+	ModTime time.Time
+}
+
+// Entries lists every stored result with its size and last-use time.
+func (s *ResultStore) Entries() ([]ResultEntry, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []ResultEntry
+	for _, e := range ents {
+		key, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok || e.IsDir() {
+			continue
+		}
+		if _, err := s.path(key); err != nil {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // deleted mid-listing
+		}
+		out = append(out, ResultEntry{Key: key, Size: info.Size(), ModTime: info.ModTime()})
+	}
+	return out, nil
+}
+
+// Delete removes a stored result; a missing key is not an error.
+func (s *ResultStore) Delete(key string) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
 }
 
 // Put stores a result atomically (temp file + rename); writing the same

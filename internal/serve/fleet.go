@@ -89,9 +89,10 @@ func (p *pod) fail(err error) {
 
 // Fleet owns the pods.
 type Fleet struct {
-	opt FleetOptions
-	reg *obs.Registry
-	bus *obs.Bus
+	opt  FleetOptions
+	reg  *obs.Registry
+	bus  *obs.Bus
+	logf func(format string, args ...any)
 
 	mu     sync.Mutex
 	pods   map[string]*pod
@@ -108,6 +109,7 @@ func NewFleet(opt FleetOptions, reg *obs.Registry, bus *obs.Bus) *Fleet {
 		opt:      opt.withDefaults(),
 		reg:      reg,
 		bus:      bus,
+		logf:     func(string, ...any) {},
 		pods:     map[string]*pod{},
 		gPods:    reg.Gauge("fdml_serve_pods", "Warm worker pods."),
 		mCreated: reg.Counter("fdml_serve_pods_created_total", "Worker pods created."),
@@ -241,10 +243,18 @@ func newPodEvaluator(eng likelihood.Engine, norm mlsearch.Config) *mlsearch.Eval
 }
 
 // Release returns a pod reference; an unreferenced pod starts its idle
-// clock.
+// clock. A release without a matching Acquire is a caller bug: the
+// count must never go negative — a negative count would make the pod
+// look idle while a job still holds it (reapable mid-run) and then
+// immortal once re-acquired — so it is clamped at zero and logged
+// loudly instead of corrupting the lifecycle.
 func (f *Fleet) Release(p *pod) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if p.refs <= 0 {
+		f.logf("BUG: fleet: double release of pod %.8s (refs %d); dropping the extra release", p.key, p.refs)
+		return
+	}
 	p.refs--
 	if p.refs == 0 {
 		p.idle = time.Now()

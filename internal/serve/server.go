@@ -19,6 +19,18 @@ import (
 // ErrNotFound reports an unknown job id.
 var ErrNotFound = errors.New("serve: no such job")
 
+// errClosing reports a submission racing the daemon's shutdown; the
+// HTTP layer maps it to 503.
+var errClosing = errors.New("serve: server closing")
+
+// internalError wraps a failure of the service itself (job store I/O,
+// result store corruption) as distinct from a bad request: the HTTP
+// layer maps it to 500 where validation failures stay 400.
+type internalError struct{ err error }
+
+func (e *internalError) Error() string { return e.err.Error() }
+func (e *internalError) Unwrap() error { return e.err }
+
 // Options configure a Server.
 type Options struct {
 	// DataDir roots the durable state: jobs/ and results/ live under
@@ -37,6 +49,28 @@ type Options struct {
 	// TenantWeights sets stride-scheduling weights (unlisted tenants
 	// weigh 1).
 	TenantWeights map[string]float64
+	// Auth enables API-key authentication: every /v1 request must carry
+	// a Bearer key from the key file, and the key's tenant — not the
+	// request body — is the job's identity. Nil runs open (dev mode):
+	// tenants are self-declared as before.
+	Auth *KeyAuth
+	// Rate bounds each tenant's request rate in submissions/second; 0
+	// disables rate limiting. Rejections are 429 with reason
+	// "rate_limited" and a computed Retry-After.
+	Rate float64
+	// Burst is the token-bucket depth for Rate (default 1).
+	Burst int
+	// JobTTL evicts terminal jobs (memory + job directory) once they
+	// have been terminal this long; 0 keeps them forever.
+	JobTTL time.Duration
+	// ResultTTL deletes stored results unused (no cache hit) for this
+	// long; 0 keeps them forever.
+	ResultTTL time.Duration
+	// MaxResultsBytes LRU-trims the result store past this byte budget;
+	// 0 is unbounded.
+	MaxResultsBytes int64
+	// GCInterval is the reaper/GC tick (default 30s).
+	GCInterval time.Duration
 	// Registry receives the service and fleet metric families (nil
 	// creates a private one). Share it with an obs.StatusServer to
 	// serve /metrics.
@@ -62,6 +96,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
+	}
+	if o.GCInterval <= 0 {
+		o.GCInterval = 30 * time.Second
 	}
 	return o
 }
@@ -112,6 +149,7 @@ type Server struct {
 	fleet   *Fleet
 	store   *JobStore
 	results *ResultStore
+	limiter *rateLimiter
 	mux     *http.ServeMux
 
 	mu      sync.Mutex
@@ -142,7 +180,7 @@ func NewServer(opt Options) (*Server, error) {
 		opt:     opt,
 		reg:     opt.Registry,
 		met:     newServeMetrics(opt.Registry),
-		fleet:   NewFleet(opt.Fleet, opt.Registry, opt.Bus),
+		fleet:   newServerFleet(opt),
 		store:   store,
 		results: results,
 		sched:   newScheduler(opt.MaxQueued, opt.MaxQueuedPerTenant, opt.TenantWeights),
@@ -150,6 +188,9 @@ func NewServer(opt Options) (*Server, error) {
 		active:  map[string]*job{},
 		kick:    make(chan struct{}, 1),
 		stopAll: make(chan struct{}),
+	}
+	if opt.Rate > 0 {
+		s.limiter = newRateLimiter(opt.Rate, opt.Burst)
 	}
 	s.initMux()
 	if err := s.recover(); err != nil {
@@ -160,6 +201,13 @@ func NewServer(opt Options) (*Server, error) {
 	go s.reapLoop()
 	s.wake()
 	return s, nil
+}
+
+// newServerFleet builds the server's fleet with its logger attached.
+func newServerFleet(opt Options) *Fleet {
+	f := NewFleet(opt.Fleet, opt.Registry, opt.Bus)
+	f.logf = opt.Logf
+	return f
 }
 
 // wake nudges the dispatch loop.
@@ -218,7 +266,7 @@ func (s *Server) Submit(spec JobSpec) (JobRecord, error) {
 	}
 
 	if res, ok, err := s.results.Get(prep.ResultKey); err != nil {
-		return JobRecord{}, err
+		return JobRecord{}, &internalError{err}
 	} else if ok {
 		// Deduplicated: the fleet never sees this job.
 		j.rec.State = StateDone
@@ -227,12 +275,12 @@ func (s *Server) Submit(spec JobSpec) (JobRecord, error) {
 		j.rec.Finished = time.Now()
 		_ = res
 		if err := s.store.Create(&j.rec, &prep.Spec); err != nil {
-			return JobRecord{}, err
+			return JobRecord{}, &internalError{err}
 		}
 		s.mu.Lock()
 		if s.closing {
 			s.mu.Unlock()
-			return JobRecord{}, fmt.Errorf("serve: server closing")
+			return JobRecord{}, errClosing
 		}
 		s.jobs[j.rec.ID] = j
 		s.mu.Unlock()
@@ -247,7 +295,7 @@ func (s *Server) Submit(spec JobSpec) (JobRecord, error) {
 	s.mu.Lock()
 	if s.closing {
 		s.mu.Unlock()
-		return JobRecord{}, fmt.Errorf("serve: server closing")
+		return JobRecord{}, errClosing
 	}
 	if err := s.sched.push(j, false); err != nil {
 		s.mu.Unlock()
@@ -260,7 +308,7 @@ func (s *Server) Submit(spec JobSpec) (JobRecord, error) {
 	if err := s.store.Create(&j.rec, &prep.Spec); err != nil {
 		s.sched.remove(j.rec.ID)
 		s.mu.Unlock()
-		return JobRecord{}, err
+		return JobRecord{}, &internalError{err}
 	}
 	s.jobs[j.rec.ID] = j
 	s.updateQueueGauges()
@@ -359,10 +407,11 @@ func (s *Server) dispatchLoop() {
 	}
 }
 
-// reapLoop retires idle pods.
+// reapLoop is the periodic maintenance tick: retire idle pods and run
+// the retention GC (job TTL, result TTL, result byte budget).
 func (s *Server) reapLoop() {
 	defer s.wg.Done()
-	t := time.NewTicker(30 * time.Second)
+	t := time.NewTicker(s.opt.GCInterval)
 	defer t.Stop()
 	for {
 		select {
@@ -372,6 +421,7 @@ func (s *Server) reapLoop() {
 			if n := s.fleet.Reap(now); n > 0 {
 				s.opt.Logf("fleet: reaped %d idle pod(s)", n)
 			}
+			s.runGC(now)
 		}
 	}
 }
@@ -652,8 +702,15 @@ func (s *Server) Close() error {
 // --- HTTP API ---
 
 // Handler returns the /v1 API handler, ready to mount on any mux (the
-// daemon mounts it next to /metrics, /status, and /healthz).
-func (s *Server) Handler() http.Handler { return s.mux }
+// daemon mounts it next to /metrics, /status, and /healthz). With
+// Options.Auth set, every request must authenticate and all job
+// visibility is tenant-scoped.
+func (s *Server) Handler() http.Handler {
+	if s.opt.Auth != nil {
+		return s.withAuth(s.mux)
+	}
+	return s.mux
+}
 
 // maxBodyBytes bounds POST /v1/jobs bodies (alignment + options).
 const maxBodyBytes = 32 << 20
@@ -685,18 +742,47 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("serve: request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: request body: %w", err))
 		return
+	}
+	// With auth on, the tenant is the credential's — whatever the body
+	// self-declares is overwritten, so no client can bill or read
+	// another tenant.
+	tenant, authed := authTenant(r.Context())
+	if authed {
+		spec.Tenant = tenant
+	} else if spec.Tenant == "" {
+		spec.Tenant = "default"
+	}
+	if s.limiter != nil {
+		if ok, wait := s.limiter.allow(spec.Tenant, time.Now()); !ok {
+			s.met.rejections.With(spec.Tenant, "rate_limited").Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(wait)))
+			writeJSONResponse(w, http.StatusTooManyRequests, map[string]string{"error": "rate_limited"})
+			return
+		}
 	}
 	rec, err := s.Submit(spec)
 	if err != nil {
 		var adm *AdmissionError
-		if errors.As(err, &adm) {
+		var internal *internalError
+		switch {
+		case errors.As(err, &adm):
 			w.Header().Set("Retry-After", strconv.Itoa(int(adm.RetryAfter.Seconds())))
 			writeJSONResponse(w, http.StatusTooManyRequests, map[string]string{"error": adm.Reason})
-			return
+		case errors.Is(err, errClosing):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.As(err, &internal):
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
 		}
-		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	code := http.StatusAccepted
@@ -706,11 +792,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSONResponse(w, code, rec)
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+// visible reports whether the request may see rec: with auth off,
+// everything; with auth on, only the authenticated tenant's jobs.
+// Invisible jobs read as 404, not 403 — job ids must not leak across
+// tenants.
+func visible(r *http.Request, rec JobRecord) bool {
+	tenant, authed := authTenant(r.Context())
+	return !authed || rec.Tenant == tenant
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	recs := make([]JobRecord, 0, len(s.jobs))
 	for _, j := range s.jobs {
-		recs = append(recs, j.snapshot())
+		if rec := j.snapshot(); visible(r, rec) {
+			recs = append(recs, rec)
+		}
 	}
 	s.mu.Unlock()
 	sort.Slice(recs, func(i, k int) bool { return recs[i].Submitted.Before(recs[k].Submitted) })
@@ -719,15 +816,20 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	rec, err := s.Get(r.PathValue("id"))
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+	if err != nil || !visible(r, rec) {
+		writeError(w, http.StatusNotFound, ErrNotFound)
 		return
 	}
 	writeJSONResponse(w, http.StatusOK, rec)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	rec, err := s.Cancel(r.PathValue("id"))
+	id := r.PathValue("id")
+	if rec, err := s.Get(id); err != nil || !visible(r, rec) {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	rec, err := s.Cancel(id)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -736,7 +838,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	res, rec, err := s.Result(r.PathValue("id"))
+	id := r.PathValue("id")
+	if rec, err := s.Get(id); err != nil || !visible(r, rec) {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	res, rec, err := s.Result(id)
 	if errors.Is(err, ErrNotFound) {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -760,18 +867,36 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	j := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
-	if j == nil {
+	if j == nil || !visible(r, j.snapshot()) {
 		writeError(w, http.StatusNotFound, ErrNotFound)
 		return
 	}
-	hist, live, cancel := j.hub.subscribe()
-	defer cancel()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
+	s.streamEvents(w, r.Context().Done(), j)
+}
+
+// streamEvents writes j's NDJSON event stream to w until the hub
+// closes, the client goes away, or the daemon stops. The hub drops
+// events to followers that cannot keep up, which may include the
+// terminal "state" line itself — so when the hub closes, the stream's
+// contract (every completed stream ends with the terminal state) is
+// enforced here: if the last state written is not the job's terminal
+// state, a final line is synthesized from the job record.
+func (s *Server) streamEvents(w http.ResponseWriter, clientGone <-chan struct{}, j *job) {
+	hist, live, cancel := j.hub.subscribe()
+	defer cancel()
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	var lastState JobState
+	emit := func(e Event) bool {
+		if e.Type == "state" {
+			lastState = e.State
+		}
+		return enc.Encode(e) == nil
+	}
 	for _, e := range hist {
-		if enc.Encode(e) != nil {
+		if !emit(e) {
 			return
 		}
 	}
@@ -780,15 +905,24 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	for {
 		select {
-		case <-r.Context().Done():
+		case <-clientGone:
 			return
 		case <-s.stopAll:
 			return
 		case e, ok := <-live:
 			if !ok {
+				// Hub closed: the job is terminal. Catch the follower up
+				// if the terminal state event was dropped on the way.
+				rec := j.snapshot()
+				if rec.State.Terminal() && lastState != rec.State {
+					emit(Event{Type: "state", Time: rec.Finished, State: rec.State, Error: rec.Error})
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
 				return
 			}
-			if enc.Encode(e) != nil {
+			if !emit(e) {
 				return
 			}
 			if flusher != nil {

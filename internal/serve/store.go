@@ -100,10 +100,20 @@ type JobStore struct {
 	root string
 }
 
-// NewJobStore opens (creating if needed) the store under root.
+// NewJobStore opens (creating if needed) the store under root, and
+// finishes any job deletion a previous process crashed in the middle of
+// (see Delete's rename-aside protocol).
 func NewJobStore(root string) (*JobStore, error) {
-	if err := os.MkdirAll(filepath.Join(root, "jobs"), 0o755); err != nil {
+	jobs := filepath.Join(root, "jobs")
+	if err := os.MkdirAll(jobs, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: job store: %w", err)
+	}
+	if ents, err := os.ReadDir(jobs); err == nil {
+		for _, e := range ents {
+			if strings.HasPrefix(e.Name(), ".gc-") {
+				_ = os.RemoveAll(filepath.Join(jobs, e.Name()))
+			}
+		}
 	}
 	return &JobStore{root: root}, nil
 }
@@ -194,6 +204,25 @@ func (s *JobStore) LoadSpec(id string) (*JobSpec, error) {
 		return nil, fmt.Errorf("serve: job %s spec: %w", id, err)
 	}
 	return &sp, nil
+}
+
+// Delete removes a job's directory. The directory is renamed aside
+// first — the rename is atomic, so a crash mid-delete leaves a
+// `.gc-`-prefixed remnant the janitor's List skips (it is not a valid
+// job id) instead of a half-deleted job directory it would quarantine.
+func (s *JobStore) Delete(id string) error {
+	if !validJobID(id) {
+		return fmt.Errorf("serve: bad job id %q", id)
+	}
+	dir := s.Dir(id)
+	tomb := filepath.Join(s.root, "jobs", ".gc-"+id)
+	if err := os.Rename(dir, tomb); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	return os.RemoveAll(tomb)
 }
 
 // List returns every job id on disk, sorted, skipping entries that are
